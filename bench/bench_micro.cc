@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Library micro-benchmarks (google-benchmark): hot paths of the
+ * simulator substrate — cache lookups/fills, mesh routing, broadcast,
+ * sharer-list updates, classifier decisions, whole L1-hit and
+ * L1-miss transactions, and workload generation throughput.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cache/set_assoc.hh"
+#include "core/classifier.hh"
+#include "core/limited_classifier.hh"
+#include "dir/sharer_list.hh"
+#include "energy/model.hh"
+#include "net/mesh.hh"
+#include "system/multicore.hh"
+#include "workload/suite.hh"
+
+namespace {
+
+using namespace lacc;
+
+SystemConfig
+microCfg()
+{
+    SystemConfig c;
+    c.numCores = 64;
+    return c;
+}
+
+void
+BM_L1Lookup(benchmark::State &state)
+{
+    L1Cache c(128, 4, 8);
+    for (LineAddr l = 0; l < 512; ++l) {
+        auto &e = c.victimFor(l);
+        e.valid = true;
+        e.tag = l;
+    }
+    LineAddr l = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(c.find(l));
+        l = (l + 1) & 511;
+    }
+}
+BENCHMARK(BM_L1Lookup);
+
+void
+BM_L1VictimSelect(benchmark::State &state)
+{
+    L1Cache c(128, 4, 8);
+    for (LineAddr l = 0; l < 512; ++l) {
+        auto &e = c.victimFor(l);
+        e.valid = true;
+        e.tag = l;
+        e.lastAccess = l;
+    }
+    LineAddr l = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(&c.victimFor(l));
+        l = (l + 1) & 1023;
+    }
+}
+BENCHMARK(BM_L1VictimSelect);
+
+void
+BM_MeshUnicast(benchmark::State &state)
+{
+    EnergyModel e;
+    MeshNetwork net(microCfg(), e);
+    Cycle t = 0;
+    CoreId dst = 1;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(net.unicast(0, dst, 9, t));
+        dst = static_cast<CoreId>((dst + 7) % 64);
+        t += 3;
+    }
+}
+BENCHMARK(BM_MeshUnicast);
+
+void
+BM_MeshBroadcast(benchmark::State &state)
+{
+    EnergyModel e;
+    MeshNetwork net(microCfg(), e);
+    std::vector<Cycle> arrivals;
+    Cycle t = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(net.broadcast(27, 1, t, arrivals));
+        t += 10;
+    }
+}
+BENCHMARK(BM_MeshBroadcast);
+
+void
+BM_AckwiseAddRemove(benchmark::State &state)
+{
+    auto s = SharerList::makeAckwise(4);
+    for (auto _ : state) {
+        for (CoreId c = 0; c < 8; ++c)
+            s.add(c);
+        for (CoreId c = 0; c < 8; ++c)
+            s.remove(c);
+    }
+}
+BENCHMARK(BM_AckwiseAddRemove);
+
+void
+BM_LimitedClassifierRemoteAccess(benchmark::State &state)
+{
+    auto cfg = microCfg();
+    LimitedClassifier cls(cfg, false);
+    auto st = cls.makeState();
+    cls.classify(*st, 0);
+    cls.onPrivateRemoval(*st, 0, 1, RemovalKind::Invalidation);
+    RemoteAccessContext ctx{100, false, 50};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cls.onRemoteAccess(*st, 0, ctx));
+        // Reset the counter so the benchmark stays on the hot path.
+        cls.onWriteByOther(*st, 5);
+    }
+}
+BENCHMARK(BM_LimitedClassifierRemoteAccess);
+
+void
+BM_L1HitPath(benchmark::State &state)
+{
+    Multicore m(microCfg());
+    m.setFunctionalChecks(false);
+    const Addr a = Addr{1} << 33;
+    m.testAccess(0, a, false); // warm
+    for (auto _ : state)
+        m.testAccess(0, a, false);
+}
+BENCHMARK(BM_L1HitPath);
+
+void
+BM_RemoteWordRoundtrip(benchmark::State &state)
+{
+    auto cfg = microCfg();
+    cfg.classifierKind = ClassifierKind::Complete;
+    Multicore m(cfg);
+    m.setFunctionalChecks(false);
+    const Addr a = Addr{1} << 33;
+    // Demote core 0 on this line.
+    m.testAccess(0, a, false);
+    m.testAccess(1, a, false);
+    m.testAccess(0, a, false);
+    m.testAccess(1, a, true);
+    for (auto _ : state) {
+        m.testAccess(0, a, false);
+        // Writes by core 1 keep core 0 remote forever.
+        m.testAccess(1, a, true);
+    }
+}
+BENCHMARK(BM_RemoteWordRoundtrip);
+
+void
+BM_WorkloadNext(benchmark::State &state)
+{
+    auto cfg = microCfg();
+    auto wl = makeBenchmark("barnes", cfg, 1000.0);
+    CoreId c = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(wl->next(c));
+        c = static_cast<CoreId>((c + 1) % 64);
+    }
+}
+BENCHMARK(BM_WorkloadNext);
+
+void
+BM_FullSmallRun(benchmark::State &state)
+{
+    // End-to-end simulator throughput on a small benchmark run.
+    for (auto _ : state) {
+        auto cfg = microCfg();
+        auto wl = makeBenchmark("water-sp", cfg, 0.05);
+        Multicore m(cfg);
+        m.setFunctionalChecks(false);
+        benchmark::DoNotOptimize(m.run(*wl).completionTime());
+    }
+}
+BENCHMARK(BM_FullSmallRun)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Shared helpers for the figure/table bench binaries: configuration
+ * variants, sweep runners, and normalized-breakdown printing.
+ *
+ * Every binary prints plain-text tables shaped like the paper's
+ * figures: values are normalized the same way (usually to PCT = 1 or
+ * to a reference configuration) so the *shape* of the reproduction can
+ * be compared directly against the paper (see EXPERIMENTS.md).
+ */
+
+#ifndef LACC_BENCH_BENCH_UTIL_HH
+#define LACC_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/log.hh"
+#include "system/experiment.hh"
+#include "system/report.hh"
+#include "workload/suite.hh"
+
+namespace lacc::bench {
+
+/** Default config with a given PCT (Limited_3, ACKwise_4 as Table 1). */
+inline SystemConfig
+pctConfig(std::uint32_t pct)
+{
+    SystemConfig cfg = defaultConfig();
+    cfg.pct = pct;
+    // RAT levels span [PCT, RATmax]; keep the invariant for the very
+    // high PCT points of the Fig 11 sweep.
+    if (cfg.ratMax < pct)
+        cfg.ratMax = pct;
+    return cfg;
+}
+
+/** Baseline system: conventional directory protocol (PCT = 1). */
+inline SystemConfig
+baselineConfig()
+{
+    SystemConfig cfg = defaultConfig();
+    cfg.classifierKind = ClassifierKind::AlwaysPrivate;
+    cfg.pct = 1;
+    return cfg;
+}
+
+/** Six-component energy vector in Fig 8 order. */
+inline std::vector<double>
+energyVector(const SystemStats &s)
+{
+    return {s.energy.l1i,    s.energy.l1d,    s.energy.l2,
+            s.energy.directory, s.energy.router, s.energy.link};
+}
+
+/** Six-component completion-time vector in Fig 9 order (per-core sums). */
+inline std::vector<double>
+latencyVector(const SystemStats &s)
+{
+    const auto l = s.totalLatency();
+    return {static_cast<double>(l.compute),
+            static_cast<double>(l.l1ToL2),
+            static_cast<double>(l.l2Waiting),
+            static_cast<double>(l.l2Sharers),
+            static_cast<double>(l.offChip),
+            static_cast<double>(l.synchronization)};
+}
+
+/** Print a banner line for a bench binary. */
+inline void
+banner(const std::string &title, const std::string &subtitle)
+{
+    std::cout << "=====================================================\n"
+              << title << "\n" << subtitle << "\n"
+              << "=====================================================\n";
+}
+
+/** Progress note to stderr so long sweeps show life. */
+inline void
+note(const std::string &msg)
+{
+    std::fprintf(stderr, "[bench] %s\n", msg.c_str());
+}
+
+} // namespace lacc::bench
+
+#endif // LACC_BENCH_BENCH_UTIL_HH

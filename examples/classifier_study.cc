@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Classifier study: run one benchmark under every locality classifier
+ * (baseline always-private, Complete, Limited_k for several k,
+ * Timestamp, and the one-way ablation) and compare.
+ *
+ *     ./examples/classifier_study [benchmark]
+ */
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "system/multicore.hh"
+#include "system/report.hh"
+#include "workload/suite.hh"
+
+namespace {
+
+struct Variant
+{
+    std::string label;
+    lacc::SystemConfig cfg;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace lacc;
+
+    const std::string bench = argc > 1 ? argv[1] : "streamcluster";
+    if (!isBenchmark(bench)) {
+        std::cerr << "unknown benchmark '" << bench << "'\n";
+        return 1;
+    }
+
+    std::vector<Variant> variants;
+    {
+        SystemConfig c;
+        c.classifierKind = ClassifierKind::AlwaysPrivate;
+        variants.push_back({"Baseline (always private)", c});
+    }
+    {
+        SystemConfig c;
+        c.classifierKind = ClassifierKind::Complete;
+        variants.push_back({"Complete", c});
+    }
+    for (std::uint32_t k : {1u, 3u, 7u}) {
+        SystemConfig c;
+        c.classifierKind = ClassifierKind::Limited;
+        c.classifierK = k;
+        variants.push_back({"Limited_" + std::to_string(k), c});
+    }
+    {
+        SystemConfig c;
+        c.classifierKind = ClassifierKind::Timestamp;
+        variants.push_back({"Timestamp (ideal)", c});
+    }
+    {
+        SystemConfig c;
+        c.classifierKind = ClassifierKind::Limited;
+        c.protocolKind = ProtocolKind::AdaptOneWay;
+        variants.push_back({"Adapt1-way (Limited_3)", c});
+    }
+
+    std::cout << "Classifier comparison on " << bench
+              << " (normalized to the baseline)\n\n";
+
+    double base_time = 0, base_energy = 0;
+    Table t({"Classifier", "Time", "Energy", "Miss%", "Promo", "Demo",
+             "RemoteAcc"});
+    for (const auto &v : variants) {
+        auto wl = makeBenchmark(bench, v.cfg);
+        Multicore m(v.cfg);
+        m.setFunctionalChecks(false);
+        const auto &st = m.run(*wl);
+        const double time = static_cast<double>(st.completionTime());
+        const double energy = st.energy.total();
+        if (base_time == 0) {
+            base_time = time;
+            base_energy = energy;
+        }
+        t.addRow({v.label, fmt(time / base_time, 3),
+                  fmt(energy / base_energy, 3),
+                  fmt(100.0 * st.l1dMissRate(), 2),
+                  std::to_string(st.protocol.promotions),
+                  std::to_string(st.protocol.demotions),
+                  std::to_string(st.protocol.remoteReads +
+                                 st.protocol.remoteWrites)});
+    }
+    t.print(std::cout);
+    std::cout << "\nLook for: Limited_3 tracking Complete closely;"
+                 " Adapt1-way losing re-promotions.\n";
+    return 0;
+}

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Quickstart: build a 64-core system with the paper's default
+ * configuration (Table 1), run one of the bundled benchmarks, and
+ * print the headline statistics.
+ *
+ *     ./examples/quickstart [benchmark] [pct]
+ *
+ * Try `./examples/quickstart streamcluster 1` vs `... 4` to see the
+ * locality-aware protocol converting sharing misses into cheap word
+ * accesses.
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "system/multicore.hh"
+#include "system/report.hh"
+#include "workload/suite.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace lacc;
+
+    const std::string bench = argc > 1 ? argv[1] : "streamcluster";
+    if (!isBenchmark(bench)) {
+        std::cerr << "unknown benchmark '" << bench << "'; pick one of:";
+        for (const auto &n : benchmarkNames())
+            std::cerr << " " << n;
+        std::cerr << "\n";
+        return 1;
+    }
+
+    // 1. Configure the system (defaults reproduce the paper's Table 1).
+    SystemConfig cfg;
+    if (argc > 2)
+        cfg.pct = static_cast<std::uint32_t>(std::atoi(argv[2]));
+
+    // 2. Build the workload and the multicore.
+    auto workload = makeBenchmark(bench, cfg);
+    Multicore system(cfg);
+
+    // 3. Run to completion.
+    std::cout << "Running " << bench << " on " << cfg.summary() << "\n";
+    const SystemStats &st = system.run(*workload);
+
+    // 4. Inspect the results.
+    const auto lat = st.totalLatency();
+    const auto misses = st.totalMisses();
+    std::cout << "\nCompletion time: " << st.completionTime()
+              << " cycles\n"
+              << "Memory-system energy: " << fmt(st.energy.total() / 1e6, 3)
+              << " uJ\n"
+              << "L1-D miss rate: " << fmtPct(st.l1dMissRate(), 2)
+              << "\n\n";
+
+    Table t({"Metric", "Value"});
+    t.addRow({"Compute cycles (all cores)", std::to_string(lat.compute)});
+    t.addRow({"L1<->L2 cycles", std::to_string(lat.l1ToL2)});
+    t.addRow({"L2 waiting cycles", std::to_string(lat.l2Waiting)});
+    t.addRow({"L2->sharers cycles", std::to_string(lat.l2Sharers)});
+    t.addRow({"Off-chip cycles", std::to_string(lat.offChip)});
+    t.addRow({"Synchronization cycles",
+              std::to_string(lat.synchronization)});
+    t.addRow({"Word misses", std::to_string(misses.get(MissType::Word))});
+    t.addRow({"Sharing misses",
+              std::to_string(misses.get(MissType::Sharing))});
+    t.addRow({"Capacity misses",
+              std::to_string(misses.get(MissType::Capacity))});
+    t.addRow({"Remote word reads",
+              std::to_string(st.protocol.remoteReads)});
+    t.addRow({"Remote word writes",
+              std::to_string(st.protocol.remoteWrites)});
+    t.addRow({"Promotions (remote->private)",
+              std::to_string(st.protocol.promotions)});
+    t.addRow({"Demotions (private->remote)",
+              std::to_string(st.protocol.demotions)});
+    t.addRow({"Invalidations sent",
+              std::to_string(st.protocol.invalidationsSent)});
+    t.addRow({"ACKwise broadcasts",
+              std::to_string(st.protocol.broadcastInvals)});
+    t.addRow({"Network flit-hops", std::to_string(st.network.flitHops)});
+    t.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,3 @@
+#include "cache/miss_status.hh"
+
+// MissStatusTracker is header-only; translation unit anchors the build.

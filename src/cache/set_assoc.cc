@@ -1,0 +1,11 @@
+#include "cache/set_assoc.hh"
+
+// SetAssocCache is a header-only template; this translation unit exists
+// to anchor the module in the build and to instantiate the common
+// configurations once for compile-time checking.
+
+namespace lacc {
+
+template class SetAssocCache<L1Meta, false>;
+
+} // namespace lacc

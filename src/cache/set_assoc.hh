@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Generic set-associative cache array with true-LRU replacement.
+ *
+ * Both the private L1 caches and the shared L2 slices are built on this
+ * template; they differ only in their per-line metadata payload. Data
+ * words (64-bit) are stored per line so the simulator moves real values
+ * through the protocol and can be checked functionally, mirroring the
+ * paper's use of Graphite's functionally-correct memory system (§4.1).
+ */
+
+#ifndef LACC_CACHE_SET_ASSOC_HH
+#define LACC_CACHE_SET_ASSOC_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "sim/log.hh"
+#include "sim/types.hh"
+
+namespace lacc {
+
+/** MESI-style state of a line in a private L1 cache. */
+enum class L1State : std::uint8_t { Invalid, Shared, Exclusive, Modified };
+
+/** Human-readable name for an L1State. */
+inline const char *
+l1StateName(L1State s)
+{
+    switch (s) {
+      case L1State::Invalid: return "I";
+      case L1State::Shared: return "S";
+      case L1State::Exclusive: return "E";
+      case L1State::Modified: return "M";
+      default: return "?";
+    }
+}
+
+/** Mixes line-address bits so interleaved homes do not alias L2 sets. */
+inline std::uint64_t
+mixLineAddr(std::uint64_t x)
+{
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    return x;
+}
+
+/**
+ * A set-associative array of cache lines with payload Meta.
+ *
+ * @tparam Meta     per-line metadata (state machine owned by the caller)
+ * @tparam kHashSet if true, the set index is a hash of the line address
+ *                  (used by L2 slices, where home interleaving would
+ *                  otherwise leave set-index bits degenerate)
+ */
+template <typename Meta, bool kHashSet = false>
+class SetAssocCache
+{
+  public:
+    /** One tag-store entry. */
+    struct Entry
+    {
+        bool valid = false;
+        LineAddr tag = 0;          //!< full line address
+        Cycle lastAccess = 0;      //!< LRU + timestamp-check state
+        Meta meta{};
+        std::vector<std::uint64_t> words; //!< functional data
+    };
+
+    /**
+     * @param sets           number of sets (power of two)
+     * @param assoc          ways per set
+     * @param words_per_line 64-bit words stored per line
+     */
+    SetAssocCache(std::uint32_t sets, std::uint32_t assoc,
+                  std::uint32_t words_per_line)
+        : sets_(sets), assoc_(assoc), wordsPerLine_(words_per_line),
+          entries_(static_cast<std::size_t>(sets) * assoc)
+    {
+        if (sets == 0 || (sets & (sets - 1)) != 0)
+            fatal("cache sets (%u) must be a power of two", sets);
+        for (auto &e : entries_)
+            e.words.assign(wordsPerLine_, 0);
+    }
+
+    std::uint32_t numSets() const { return sets_; }
+    std::uint32_t assoc() const { return assoc_; }
+    std::uint32_t wordsPerLine() const { return wordsPerLine_; }
+
+    /** Set index for a line address. */
+    std::uint32_t
+    setIndex(LineAddr line) const
+    {
+        if constexpr (kHashSet)
+            return static_cast<std::uint32_t>(mixLineAddr(line) &
+                                              (sets_ - 1));
+        else
+            return static_cast<std::uint32_t>(line & (sets_ - 1));
+    }
+
+    /** @return the entry holding @p line, or nullptr. No LRU update. */
+    Entry *
+    find(LineAddr line)
+    {
+        const std::uint32_t set = setIndex(line);
+        for (std::uint32_t w = 0; w < assoc_; ++w) {
+            Entry &e = entryAt(set, w);
+            if (e.valid && e.tag == line)
+                return &e;
+        }
+        return nullptr;
+    }
+
+    const Entry *
+    find(LineAddr line) const
+    {
+        return const_cast<SetAssocCache *>(this)->find(line);
+    }
+
+    /**
+     * Select the fill victim for @p line: an invalid way if present,
+     * else the valid way with the oldest lastAccess (true LRU).
+     * The caller is responsible for handling the victim's contents
+     * before overwriting (eviction notification, write-back).
+     */
+    Entry &
+    victimFor(LineAddr line)
+    {
+        const std::uint32_t set = setIndex(line);
+        Entry *lru = nullptr;
+        for (std::uint32_t w = 0; w < assoc_; ++w) {
+            Entry &e = entryAt(set, w);
+            if (!e.valid)
+                return e;
+            if (lru == nullptr || e.lastAccess < lru->lastAccess)
+                lru = &e;
+        }
+        return *lru;
+    }
+
+    /** @return true if the set holding @p line has an invalid way. */
+    bool
+    hasInvalidWay(LineAddr line) const
+    {
+        const std::uint32_t set = setIndex(line);
+        for (std::uint32_t w = 0; w < assoc_; ++w) {
+            if (!entryAt(set, w).valid)
+                return true;
+        }
+        return false;
+    }
+
+    /**
+     * Minimum lastAccess among valid lines in the set holding @p line;
+     * 0 if the set is empty. Used for the Timestamp check (§3.2): the
+     * minimum is communicated to the L2 home on every L1 miss.
+     */
+    Cycle
+    minLastAccess(LineAddr line) const
+    {
+        const std::uint32_t set = setIndex(line);
+        Cycle min_t = kNeverCycle;
+        bool any = false;
+        for (std::uint32_t w = 0; w < assoc_; ++w) {
+            const Entry &e = entryAt(set, w);
+            if (e.valid) {
+                any = true;
+                if (e.lastAccess < min_t)
+                    min_t = e.lastAccess;
+            }
+        }
+        return any ? min_t : 0;
+    }
+
+    /** Reset an entry to invalid (metadata reset to default). */
+    void
+    invalidate(Entry &e)
+    {
+        e.valid = false;
+        e.tag = 0;
+        e.lastAccess = 0;
+        e.meta = Meta{};
+        std::fill(e.words.begin(), e.words.end(), 0);
+    }
+
+    /** Apply @p fn to every entry (valid or not). */
+    template <typename F>
+    void
+    forEach(F &&fn)
+    {
+        for (auto &e : entries_)
+            fn(e);
+    }
+
+    /** Count of currently valid entries (test helper). */
+    std::uint64_t
+    validCount() const
+    {
+        std::uint64_t n = 0;
+        for (const auto &e : entries_)
+            if (e.valid)
+                ++n;
+        return n;
+    }
+
+    Entry &
+    entryAt(std::uint32_t set, std::uint32_t way)
+    {
+        return entries_[static_cast<std::size_t>(set) * assoc_ + way];
+    }
+
+    const Entry &
+    entryAt(std::uint32_t set, std::uint32_t way) const
+    {
+        return entries_[static_cast<std::size_t>(set) * assoc_ + way];
+    }
+
+  private:
+    std::uint32_t sets_;
+    std::uint32_t assoc_;
+    std::uint32_t wordsPerLine_;
+    std::vector<Entry> entries_;
+};
+
+/** Per-line metadata of a private L1 cache (Fig 5 tag extension). */
+struct L1Meta
+{
+    L1State state = L1State::Invalid;
+    /**
+     * Private utilization counter (Fig 5): number of times the line was
+     * used (read or written) since it was brought in. Initialized to 1
+     * on fill, incremented on every subsequent hit.
+     */
+    std::uint32_t privateUtil = 0;
+};
+
+/** Private L1 cache (instruction or data). */
+using L1Cache = SetAssocCache<L1Meta, false>;
+
+} // namespace lacc
+
+#endif // LACC_CACHE_SET_ASSOC_HH

@@ -1,0 +1,125 @@
+#include "core/storage_model.hh"
+
+namespace lacc {
+
+std::uint32_t
+StorageModel::bitsFor(std::uint64_t n)
+{
+    std::uint32_t bits = 0;
+    std::uint64_t v = 1;
+    while (v < n) {
+        v <<= 1;
+        ++bits;
+    }
+    return bits;
+}
+
+std::uint64_t
+StorageModel::dirEntriesPerCore() const
+{
+    return static_cast<std::uint64_t>(cfg_.l2SizeKB) * 1024 /
+           cfg_.lineSize;
+}
+
+std::uint32_t
+StorageModel::l1UtilBitsPerLine() const
+{
+    // Counts up to PCT (2 bits for the paper's PCT = 4).
+    const std::uint32_t bits = bitsFor(cfg_.pct);
+    return bits > 0 ? bits : 1;
+}
+
+std::uint32_t
+StorageModel::localityBitsPerTrackedCore(bool needs_core_id) const
+{
+    // Remote utilization counts up to RATmax (4 bits for 16), 1 mode
+    // bit, log2(nRATlevels) RAT-level bits (1 bit for 2 levels).
+    std::uint32_t bits = 1 + bitsFor(cfg_.ratMax) +
+                         (cfg_.nRatLevels > 1 ? bitsFor(cfg_.nRatLevels)
+                                              : 0);
+    if (needs_core_id)
+        bits += bitsFor(cfg_.numCores);
+    return bits;
+}
+
+std::uint32_t
+StorageModel::limitedBitsPerEntry() const
+{
+    return cfg_.classifierK * localityBitsPerTrackedCore(true);
+}
+
+std::uint32_t
+StorageModel::completeBitsPerEntry() const
+{
+    return cfg_.numCores * localityBitsPerTrackedCore(false);
+}
+
+double
+StorageModel::l1OverheadKB() const
+{
+    const double lines =
+        static_cast<double>(cfg_.l1iSizeKB + cfg_.l1dSizeKB) * 1024 /
+        cfg_.lineSize;
+    return lines * l1UtilBitsPerLine() / 8.0 / 1024.0;
+}
+
+double
+StorageModel::limitedOverheadKB() const
+{
+    return static_cast<double>(dirEntriesPerCore()) *
+           limitedBitsPerEntry() / 8.0 / 1024.0;
+}
+
+double
+StorageModel::completeOverheadKB() const
+{
+    return static_cast<double>(dirEntriesPerCore()) *
+           completeBitsPerEntry() / 8.0 / 1024.0;
+}
+
+std::uint32_t
+StorageModel::ackwiseBitsPerEntry() const
+{
+    // p pointers of log2(numCores) bits each (24 bits for ACKwise_4 at
+    // 64 cores, matching the paper's "24 bits per directory entry").
+    return cfg_.ackwisePointers * bitsFor(cfg_.numCores);
+}
+
+std::uint32_t
+StorageModel::fullMapBitsPerEntry() const
+{
+    return cfg_.numCores;
+}
+
+double
+StorageModel::ackwiseKB() const
+{
+    return static_cast<double>(dirEntriesPerCore()) *
+           ackwiseBitsPerEntry() / 8.0 / 1024.0;
+}
+
+double
+StorageModel::fullMapKB() const
+{
+    return static_cast<double>(dirEntriesPerCore()) *
+           fullMapBitsPerEntry() / 8.0 / 1024.0;
+}
+
+double
+StorageModel::cacheKB() const
+{
+    return static_cast<double>(cfg_.l1iSizeKB) + cfg_.l1dSizeKB +
+           cfg_.l2SizeKB;
+}
+
+double
+StorageModel::overheadPercentVsAckwise(bool complete) const
+{
+    const double baseline = cacheKB() + ackwiseKB();
+    const double extra = (complete ? completeOverheadKB()
+                                   : limitedOverheadKB()) +
+                         l1OverheadKB();
+    return extra / baseline * 100.0;
+}
+
+} // namespace lacc

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Storage-overhead model of Section 3.6.
+ *
+ * Computes the per-core storage cost of the locality-tracking
+ * structures (L1 utilization bits, directory locality records) and of
+ * the sharer-tracking directory itself (ACKwise_p vs full-map), and
+ * reproduces the paper's arithmetic: with the default 64-core Table 1
+ * configuration, the Limited_3 classifier costs 18 KB per core (vs
+ * 192 KB for the Complete classifier), ACKwise_4 costs 12 KB, full-map
+ * 32 KB, and Limited_3 + ACKwise_4 is a 5.7 % overhead over the
+ * baseline ACKwise_4 system while staying below full-map storage.
+ */
+
+#ifndef LACC_CORE_STORAGE_MODEL_HH
+#define LACC_CORE_STORAGE_MODEL_HH
+
+#include <cstdint>
+
+#include "sim/config.hh"
+
+namespace lacc {
+
+/** Storage accounting (per core unless noted). */
+struct StorageModel
+{
+    explicit StorageModel(const SystemConfig &cfg) : cfg_(cfg) {}
+
+    /** ceil(log2(n)) for n >= 1. */
+    static std::uint32_t bitsFor(std::uint64_t n);
+
+    /** Directory entries per core = L2 slice lines (integrated dir). */
+    std::uint64_t dirEntriesPerCore() const;
+
+    // ---- Locality tracking (the paper's addition) ---------------------
+
+    /** Bits per L1 line for the private utilization counter. */
+    std::uint32_t l1UtilBitsPerLine() const;
+
+    /** Bits per directory entry for one tracked core's locality info:
+     * mode + remote utilization + RAT level (+ core ID for Limited_k).
+     */
+    std::uint32_t localityBitsPerTrackedCore(bool needs_core_id) const;
+
+    /** Locality bits per directory entry for the Limited_k classifier. */
+    std::uint32_t limitedBitsPerEntry() const;
+
+    /** Locality bits per directory entry for the Complete classifier. */
+    std::uint32_t completeBitsPerEntry() const;
+
+    /** KB per core of L1 utilization bits (L1-I + L1-D). */
+    double l1OverheadKB() const;
+
+    /** KB per core of directory locality state for Limited_k. */
+    double limitedOverheadKB() const;
+
+    /** KB per core of directory locality state for Complete. */
+    double completeOverheadKB() const;
+
+    // ---- Sharer tracking ----------------------------------------------
+
+    /** Bits per directory entry for ACKwise_p sharer tracking. */
+    std::uint32_t ackwiseBitsPerEntry() const;
+
+    /** Bits per directory entry for a full-map directory. */
+    std::uint32_t fullMapBitsPerEntry() const;
+
+    /** KB per core of ACKwise_p pointers. */
+    double ackwiseKB() const;
+
+    /** KB per core of full-map bit vectors. */
+    double fullMapKB() const;
+
+    // ---- Whole-core roll-ups -------------------------------------------
+
+    /** KB per core of cache data+nominal storage (L1-I + L1-D + L2). */
+    double cacheKB() const;
+
+    /**
+     * Percentage overhead of (classifier + ACKwise) over the baseline
+     * ACKwise system, factoring cache sizes (the paper's 5.7 % / 60 %).
+     *
+     * @param complete use the Complete classifier instead of Limited_k
+     */
+    double overheadPercentVsAckwise(bool complete) const;
+
+  private:
+    SystemConfig cfg_;
+};
+
+} // namespace lacc
+
+#endif // LACC_CORE_STORAGE_MODEL_HH

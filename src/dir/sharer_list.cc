@@ -1,0 +1,110 @@
+#include "dir/sharer_list.hh"
+
+#include "sim/log.hh"
+
+namespace lacc {
+
+void
+SharerList::add(CoreId core)
+{
+    if (fullMap_) {
+        auto &word = bits_[core / 64];
+        const std::uint64_t mask = 1ULL << (core % 64);
+        if (word & mask)
+            return;
+        word |= mask;
+        ++count_;
+        return;
+    }
+
+    // ACKwise: exact while count <= p.
+    if (!overflowed_) {
+        std::size_t free_slot = pointers_.size();
+        for (std::size_t i = 0; i < pointers_.size(); ++i) {
+            if (pointers_[i] == core)
+                return; // already tracked
+            if (pointers_[i] == kInvalidCore && free_slot == pointers_.size())
+                free_slot = i;
+        }
+        if (free_slot < pointers_.size()) {
+            pointers_[free_slot] = core;
+            ++count_;
+            return;
+        }
+        // Pointer overflow: stop tracking identities, count only.
+        overflowed_ = true;
+        ++count_;
+        return;
+    }
+
+    // Overflow mode: identities unknown; conservatively assume the
+    // requester is a new sharer (the protocol only calls add() when
+    // handing out a copy the core does not already hold).
+    ++count_;
+}
+
+void
+SharerList::remove(CoreId core)
+{
+    if (count_ == 0)
+        panic("SharerList::remove on empty list");
+    if (fullMap_) {
+        auto &word = bits_[core / 64];
+        const std::uint64_t mask = 1ULL << (core % 64);
+        if (!(word & mask))
+            panic("full-map remove of non-sharer core %u", core);
+        word &= ~mask;
+        --count_;
+        return;
+    }
+
+    for (auto &p : pointers_) {
+        if (p == core) {
+            p = kInvalidCore;
+            --count_;
+            if (count_ == 0)
+                overflowed_ = false;
+            return;
+        }
+    }
+    if (!overflowed_)
+        panic("ACKwise remove of untracked core %u without overflow", core);
+    --count_;
+    if (count_ == 0) {
+        overflowed_ = false;
+        for (auto &p : pointers_)
+            p = kInvalidCore;
+    }
+}
+
+void
+SharerList::clear()
+{
+    count_ = 0;
+    overflowed_ = false;
+    for (auto &p : pointers_)
+        p = kInvalidCore;
+    for (auto &w : bits_)
+        w = 0;
+}
+
+bool
+SharerList::contains(CoreId core) const
+{
+    if (fullMap_)
+        return (bits_[core / 64] >> (core % 64)) & 1;
+    for (const auto p : pointers_)
+        if (p == core)
+            return true;
+    return false;
+}
+
+std::vector<CoreId>
+SharerList::tracked() const
+{
+    std::vector<CoreId> out;
+    forEachTracked([&](CoreId c) { out.push_back(c); });
+    return out;
+}
+
+} // namespace lacc

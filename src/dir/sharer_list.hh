@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Directory sharer tracking: ACKwise_p limited directory and a
+ * full-map bit-vector baseline (§3.1).
+ *
+ * ACKwise_p keeps p hardware pointers. While the sharer count is <= p
+ * it behaves like a full-map directory (exact identities). When the
+ * count exceeds p it stops tracking identities and only maintains the
+ * number of sharers; exclusive requests must then broadcast the
+ * invalidation, but acknowledgements are expected only from the actual
+ * sharers (the tracked count). Identities cannot be recovered until
+ * the line is fully invalidated.
+ */
+
+#ifndef LACC_DIR_SHARER_LIST_HH
+#define LACC_DIR_SHARER_LIST_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace lacc {
+
+/** Sharer-tracking metadata of one directory entry. */
+class SharerList
+{
+  public:
+    /** Construct an ACKwise list with @p pointers slots. */
+    static SharerList
+    makeAckwise(std::uint32_t pointers)
+    {
+        SharerList s;
+        s.fullMap_ = false;
+        s.pointers_.assign(pointers, kInvalidCore);
+        return s;
+    }
+
+    /** Construct a full-map list over @p num_cores cores. */
+    static SharerList
+    makeFullMap(std::uint32_t num_cores)
+    {
+        SharerList s;
+        s.fullMap_ = true;
+        s.bits_.assign((num_cores + 63) / 64, 0);
+        return s;
+    }
+
+    SharerList() = default;
+
+    /** Add a sharer (idempotent). */
+    void add(CoreId core);
+
+    /**
+     * Remove a sharer (eviction/invalidation ack). In ACKwise overflow
+     * mode an untracked core only decrements the count.
+     */
+    void remove(CoreId core);
+
+    /** Drop all sharers (after a full invalidation). */
+    void clear();
+
+    /** Number of sharers. */
+    std::uint32_t count() const { return count_; }
+
+    /**
+     * True when identities are no longer tracked and an exclusive
+     * request requires a broadcast invalidation. Always false for a
+     * full-map list.
+     */
+    bool overflowed() const { return overflowed_; }
+
+    /**
+     * True if @p core is known to be a sharer. In ACKwise overflow
+     * mode only the pointer-resident subset is known; this returns
+     * false for untracked sharers (callers must consult overflowed()).
+     */
+    bool contains(CoreId core) const;
+
+    /** Apply @p fn to each tracked sharer identity. */
+    template <typename F>
+    void
+    forEachTracked(F &&fn) const
+    {
+        if (fullMap_) {
+            for (std::size_t w = 0; w < bits_.size(); ++w) {
+                std::uint64_t word = bits_[w];
+                while (word) {
+                    const int b = __builtin_ctzll(word);
+                    fn(static_cast<CoreId>(w * 64 + b));
+                    word &= word - 1;
+                }
+            }
+        } else {
+            for (const auto p : pointers_)
+                if (p != kInvalidCore)
+                    fn(p);
+        }
+    }
+
+    /** Tracked identities as a vector (test helper). */
+    std::vector<CoreId> tracked() const;
+
+    /** True if constructed as full-map. */
+    bool isFullMap() const { return fullMap_; }
+
+  private:
+    bool fullMap_ = false;
+    bool overflowed_ = false;
+    std::uint32_t count_ = 0;
+    std::vector<CoreId> pointers_; //!< ACKwise slots (kInvalidCore=free)
+    std::vector<std::uint64_t> bits_; //!< full-map bit vector
+};
+
+} // namespace lacc
+
+#endif // LACC_DIR_SHARER_LIST_HH

@@ -1,0 +1,63 @@
+#include "dram/dram.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lacc {
+
+DramModel::DramModel(const SystemConfig &cfg)
+    : numControllers_(cfg.numMemControllers), latency_(cfg.dramLatency)
+{
+    // 64 B line at 5 GB/s and 1 GHz: 64 / 5 = 12.8 -> 13 cycles.
+    serialization_ = static_cast<Cycle>(std::ceil(
+        static_cast<double>(cfg.lineSize) / cfg.dramBandwidthGBps));
+    if (serialization_ == 0)
+        serialization_ = 1;
+
+    // Spread controllers evenly over the tile index space.
+    tiles_.reserve(numControllers_);
+    for (std::uint32_t i = 0; i < numControllers_; ++i)
+        tiles_.push_back(
+            static_cast<CoreId>(i * cfg.numCores / numControllers_));
+    freeAt_.assign(numControllers_, 0);
+}
+
+CoreId
+DramModel::controllerTile(LineAddr line) const
+{
+    return tiles_[static_cast<std::size_t>(line % numControllers_)];
+}
+
+Cycle
+DramModel::access(LineAddr line, Cycle start)
+{
+    const auto ctrl = static_cast<std::size_t>(line % numControllers_);
+    ++accesses_;
+    Cycle t = start;
+    if (freeAt_[ctrl] > t) {
+        queueingCycles_ += freeAt_[ctrl] - t;
+        t = freeAt_[ctrl];
+    }
+    freeAt_[ctrl] = t + serialization_;
+    return t + latency_ + serialization_;
+}
+
+void
+DramModel::readLine(LineAddr line, std::vector<std::uint64_t> &out,
+                    std::uint32_t words_per_line) const
+{
+    auto it = store_.find(line);
+    if (it == store_.end()) {
+        out.assign(words_per_line, 0);
+        return;
+    }
+    out = it->second;
+}
+
+void
+DramModel::writeLine(LineAddr line, const std::vector<std::uint64_t> &in)
+{
+    store_[line] = in;
+}
+
+} // namespace lacc

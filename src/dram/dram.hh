@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Off-chip DRAM model: fixed access latency plus per-controller
+ * bandwidth queueing (Table 1: 8 controllers, 5 GB/s each, 100 ns).
+ *
+ * Lines are interleaved across controllers; each controller serializes
+ * line transfers at its bandwidth (64 B / 5 GBps = 12.8 ns ~ 13 cycles
+ * at 1 GHz). Queueing delay due to finite off-chip bandwidth is
+ * reported so it can be attributed to the L2Cache-OffChip completion
+ * time component (§4.4).
+ */
+
+#ifndef LACC_DRAM_DRAM_HH
+#define LACC_DRAM_DRAM_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/config.hh"
+#include "sim/types.hh"
+
+namespace lacc {
+
+/** DRAM + memory-controller timing and functional storage. */
+class DramModel
+{
+  public:
+    explicit DramModel(const SystemConfig &cfg);
+
+    /** Tile hosting the controller that owns @p line. */
+    CoreId controllerTile(LineAddr line) const;
+
+    /**
+     * Perform a line fetch or write-back at the controller.
+     *
+     * @param line  line address
+     * @param start cycle the request reaches the controller tile
+     * @return cycle the data transfer completes at the controller
+     */
+    Cycle access(LineAddr line, Cycle start);
+
+    /** Functional read of a line (zero-filled when untouched). */
+    void readLine(LineAddr line, std::vector<std::uint64_t> &out,
+                  std::uint32_t words_per_line) const;
+
+    /** Functional write of a line. */
+    void writeLine(LineAddr line, const std::vector<std::uint64_t> &in);
+
+    /** Total bandwidth-queueing cycles across controllers. */
+    std::uint64_t queueingCycles() const { return queueingCycles_; }
+
+    /** Total accesses (fetches + write-backs). */
+    std::uint64_t accesses() const { return accesses_; }
+
+    /** Tiles hosting controllers, in controller order (test helper). */
+    const std::vector<CoreId> &controllerTiles() const
+    {
+        return tiles_;
+    }
+
+  private:
+    std::uint32_t numControllers_;
+    Cycle latency_;
+    Cycle serialization_; //!< cycles one line occupies a controller
+
+    std::vector<CoreId> tiles_;
+    std::vector<Cycle> freeAt_;
+    std::uint64_t queueingCycles_ = 0;
+    std::uint64_t accesses_ = 0;
+
+    std::unordered_map<LineAddr, std::vector<std::uint64_t>> store_;
+};
+
+} // namespace lacc
+
+#endif // LACC_DRAM_DRAM_HH

@@ -1,0 +1,3 @@
+#include "energy/model.hh"
+
+// EnergyModel is header-only; translation unit anchors the build.

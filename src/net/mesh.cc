@@ -1,0 +1,226 @@
+#include "net/mesh.hh"
+
+#include <algorithm>
+
+#include "sim/log.hh"
+
+namespace lacc {
+
+MeshNetwork::MeshNetwork(const SystemConfig &cfg, EnergyModel &energy)
+    : width_(cfg.meshWidth), height_(cfg.meshHeight()),
+      numCores_(cfg.numCores), hopLatency_(cfg.hopLatency),
+      modelContention_(cfg.modelContention),
+      links_(static_cast<std::size_t>(cfg.numCores) * 4),
+      linkQueueing_(static_cast<std::size_t>(cfg.numCores) * 4, 0),
+      linkFlits_(static_cast<std::size_t>(cfg.numCores) * 4, 0),
+      energy_(energy)
+{
+    if (hopLatency_ < 2)
+        fatal("hopLatency must be >= 2 (1 router + 1 link cycle)");
+}
+
+std::uint32_t
+MeshNetwork::hopCount(CoreId src, CoreId dst) const
+{
+    const auto dx = xOf(src) > xOf(dst) ? xOf(src) - xOf(dst)
+                                        : xOf(dst) - xOf(src);
+    const auto dy = yOf(src) > yOf(dst) ? yOf(src) - yOf(dst)
+                                        : yOf(dst) - yOf(src);
+    return dx + dy;
+}
+
+Cycle
+MeshNetwork::idealLatency(CoreId src, CoreId dst,
+                          std::uint32_t flits) const
+{
+    return static_cast<Cycle>(hopCount(src, dst)) * hopLatency_ +
+           (flits > 0 ? flits - 1 : 0);
+}
+
+CoreId
+MeshNetwork::nextHop(CoreId at, CoreId dst, Dir &dir_out) const
+{
+    const auto ax = xOf(at), ay = yOf(at);
+    const auto dx = xOf(dst), dy = yOf(dst);
+    if (ax < dx) {
+        dir_out = East;
+        return static_cast<CoreId>(at + 1);
+    }
+    if (ax > dx) {
+        dir_out = West;
+        return static_cast<CoreId>(at - 1);
+    }
+    if (ay < dy) {
+        dir_out = South;
+        return static_cast<CoreId>(at + width_);
+    }
+    if (ay > dy) {
+        dir_out = North;
+        return static_cast<CoreId>(at - width_);
+    }
+    panic("nextHop called with at == dst");
+}
+
+Cycle
+MeshNetwork::traverseLink(std::uint32_t link, Cycle t,
+                          std::uint32_t flits)
+{
+    // Router stage, then link stage. The head flit wants the link at
+    // t + 1; with link-only contention it may have to queue behind
+    // the link's undrained backlog (see the file header).
+    Cycle head_at_link = t + 1;
+    if (modelContention_) {
+        LinkState &ls = links_[link];
+        const Cycle w = head_at_link / kWindow;
+        if (w > ls.windowId) {
+            // The link drains one flit per cycle between windows.
+            const std::uint64_t drained =
+                (w - ls.windowId) * kWindow;
+            ls.backlog = ls.backlog > drained ? ls.backlog - drained
+                                              : 0;
+            ls.windowId = w;
+        }
+        // Work queued ahead minus what drained since window start;
+        // messages from slightly lagging clocks (w < windowId) see
+        // the current backlog without paying the skew itself.
+        const Cycle elapsed =
+            w >= ls.windowId ? head_at_link % kWindow : 0;
+        if (ls.backlog > elapsed) {
+            const Cycle wait = ls.backlog - elapsed;
+            stats_.contentionCycles += wait;
+            linkQueueing_[link] += wait;
+            head_at_link += wait;
+        }
+        ls.backlog += flits;
+    }
+    linkFlits_[link] += flits;
+    return head_at_link + (hopLatency_ - 1);
+}
+
+Cycle
+MeshNetwork::unicast(CoreId src, CoreId dst, std::uint32_t flits,
+                     Cycle depart)
+{
+    ++stats_.unicasts;
+    stats_.flitsInjected += flits;
+    if (src == dst)
+        return depart; // local slice: no network traversal
+
+    Cycle t = depart;
+    std::uint32_t hops = 0;
+    CoreId at = src;
+    while (at != dst) {
+        Dir d;
+        const CoreId nxt = nextHop(at, dst, d);
+        t = traverseLink(linkId(at, d), t, flits);
+        at = nxt;
+        ++hops;
+    }
+    stats_.flitHops += static_cast<std::uint64_t>(flits) * hops;
+    energy_.addRouter(static_cast<std::uint64_t>(flits) * hops);
+    energy_.addLink(static_cast<std::uint64_t>(flits) * hops);
+    // Wormhole serialization: tail arrives flits-1 cycles after head.
+    return t + (flits > 0 ? flits - 1 : 0);
+}
+
+Cycle
+MeshNetwork::broadcast(CoreId src, std::uint32_t flits, Cycle depart,
+                       std::vector<Cycle> &arrivals)
+{
+    ++stats_.broadcasts;
+    stats_.flitsInjected += flits;
+    arrivals.assign(numCores_, 0);
+    arrivals[src] = depart;
+
+    // X-then-Y tree: the message expands east and west along the
+    // source row, and each row node forwards north and south along its
+    // column. Every tree link is traversed exactly once per broadcast.
+    std::uint64_t tree_links = 0;
+    Cycle max_arrival = depart;
+
+    const auto sx = xOf(src);
+    const auto sy = yOf(src);
+
+    // Head-flit time at each node of the source row.
+    std::vector<Cycle> row_head(width_, 0);
+    row_head[sx] = depart;
+    for (std::uint32_t x = sx + 1; x < width_; ++x) {
+        const CoreId at = static_cast<CoreId>(sy * width_ + (x - 1));
+        row_head[x] = traverseLink(linkId(at, East), row_head[x - 1],
+                                   flits);
+        ++tree_links;
+    }
+    for (std::int64_t x = static_cast<std::int64_t>(sx) - 1; x >= 0; --x) {
+        const CoreId at = static_cast<CoreId>(sy * width_ + (x + 1));
+        row_head[x] = traverseLink(linkId(at, West), row_head[x + 1],
+                                   flits);
+        ++tree_links;
+    }
+
+    for (std::uint32_t x = 0; x < width_; ++x) {
+        const CoreId row_node = static_cast<CoreId>(sy * width_ + x);
+        arrivals[row_node] = row_head[x] + (flits > 0 ? flits - 1 : 0);
+        max_arrival = std::max(max_arrival, arrivals[row_node]);
+
+        Cycle t = row_head[x];
+        for (std::uint32_t y = sy + 1; y < height_; ++y) {
+            const CoreId at = static_cast<CoreId>((y - 1) * width_ + x);
+            const CoreId to = static_cast<CoreId>(y * width_ + x);
+            t = traverseLink(linkId(at, South), t, flits);
+            ++tree_links;
+            arrivals[to] = t + (flits > 0 ? flits - 1 : 0);
+            max_arrival = std::max(max_arrival, arrivals[to]);
+        }
+        t = row_head[x];
+        for (std::int64_t y = static_cast<std::int64_t>(sy) - 1; y >= 0;
+             --y) {
+            const CoreId at = static_cast<CoreId>((y + 1) * width_ + x);
+            const CoreId to = static_cast<CoreId>(y * width_ + x);
+            t = traverseLink(linkId(at, North), t, flits);
+            ++tree_links;
+            arrivals[to] = t + (flits > 0 ? flits - 1 : 0);
+            max_arrival = std::max(max_arrival, arrivals[to]);
+        }
+    }
+
+    stats_.flitHops += static_cast<std::uint64_t>(flits) * tree_links;
+    energy_.addLink(static_cast<std::uint64_t>(flits) * tree_links);
+    // Every router in the mesh replicates/forwards the message once.
+    energy_.addRouter(static_cast<std::uint64_t>(flits) * numCores_);
+    return max_arrival;
+}
+
+void
+MeshNetwork::reset()
+{
+    std::fill(links_.begin(), links_.end(), LinkState{});
+    std::fill(linkQueueing_.begin(), linkQueueing_.end(), 0);
+    std::fill(linkFlits_.begin(), linkFlits_.end(), 0);
+    stats_ = NetworkStats{};
+}
+
+std::vector<std::pair<std::uint32_t, std::uint64_t>>
+MeshNetwork::topCongestedLinks(std::size_t n) const
+{
+    std::vector<std::pair<std::uint32_t, std::uint64_t>> v;
+    for (std::uint32_t l = 0; l < linkQueueing_.size(); ++l)
+        if (linkQueueing_[l] > 0)
+            v.emplace_back(l, linkQueueing_[l]);
+    std::sort(v.begin(), v.end(), [](const auto &a, const auto &b) {
+        return a.second > b.second;
+    });
+    if (v.size() > n)
+        v.resize(n);
+    return v;
+}
+
+std::string
+MeshNetwork::describeLink(std::uint32_t link) const
+{
+    static const char *dirs[4] = {"E", "W", "S", "N"};
+    const std::uint32_t node = link / 4;
+    return "tile" + std::to_string(node) + "->" +
+           dirs[link % 4];
+}
+
+} // namespace lacc

@@ -1,0 +1,54 @@
+#include "rnuca/page_table.hh"
+
+namespace lacc {
+
+PageTable::Result
+PageTable::access(PageAddr page, CoreId core, bool is_ifetch)
+{
+    Result res;
+    auto it = table_.find(page);
+    if (it == table_.end()) {
+        Record rec;
+        if (is_ifetch) {
+            rec.cls = PageClass::Instruction;
+        } else {
+            rec.cls = PageClass::PrivateData;
+            rec.owner = core;
+        }
+        table_.emplace(page, rec);
+        res.record = rec;
+        return res;
+    }
+
+    Record &rec = it->second;
+    if (rec.cls == PageClass::PrivateData && !is_ifetch &&
+        rec.owner != core) {
+        // Second core touched a private page: re-classify shared and
+        // tell the caller to flush the old home slice.
+        res.rehomed = true;
+        res.oldOwner = rec.owner;
+        rec.cls = PageClass::SharedData;
+        rec.owner = kInvalidCore;
+    }
+    res.record = rec;
+    return res;
+}
+
+const PageTable::Record *
+PageTable::lookup(PageAddr page) const
+{
+    auto it = table_.find(page);
+    return it == table_.end() ? nullptr : &it->second;
+}
+
+std::size_t
+PageTable::countClass(PageClass c) const
+{
+    std::size_t n = 0;
+    for (const auto &[page, rec] : table_)
+        if (rec.cls == c)
+            ++n;
+    return n;
+}
+
+} // namespace lacc

@@ -1,0 +1,3 @@
+#include "rnuca/placement.hh"
+
+// Placement is header-only; translation unit anchors the build.

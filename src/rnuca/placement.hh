@@ -1,0 +1,99 @@
+/**
+ * @file
+ * R-NUCA home-slice placement (§3.1).
+ *
+ * - PrivateData pages live at the owner core's local L2 slice.
+ * - SharedData lines are address-hash interleaved across all slices.
+ * - Instruction lines are replicated once per cluster of
+ *   `clusterSize` cores using rotational interleaving: within its
+ *   cluster, a line's slice is chosen by (line + cluster rotation) so
+ *   replicas of consecutive lines spread across the cluster members.
+ */
+
+#ifndef LACC_RNUCA_PLACEMENT_HH
+#define LACC_RNUCA_PLACEMENT_HH
+
+#include <cstdint>
+
+#include "rnuca/page_table.hh"
+#include "sim/config.hh"
+#include "sim/types.hh"
+
+namespace lacc {
+
+/** Maps (line, page class, requester) to the home L2 slice. */
+class Placement
+{
+  public:
+    explicit Placement(const SystemConfig &cfg)
+        : numCores_(cfg.numCores), clusterSize_(cfg.clusterSize),
+          enabled_(cfg.rnucaEnabled)
+    {}
+
+    /**
+     * Home slice of a line for a given requester.
+     *
+     * @param line      line address
+     * @param rec       the page's R-NUCA classification
+     * @param requester the requesting core (determines the cluster of
+     *                  an Instruction line and the owner of a
+     *                  PrivateData page whose record predates it)
+     */
+    CoreId
+    home(LineAddr line, const PageTable::Record &rec,
+         CoreId requester) const
+    {
+        if (!enabled_)
+            return sharedHome(line); // static-NUCA ablation
+        switch (rec.cls) {
+          case PageClass::PrivateData:
+            return rec.owner != kInvalidCore ? rec.owner : requester;
+          case PageClass::SharedData:
+            return sharedHome(line);
+          case PageClass::Instruction:
+            return instructionHome(line, requester);
+        }
+        return requester;
+    }
+
+    /** @return false when running the static-NUCA ablation. */
+    bool enabled() const { return enabled_; }
+
+    /** Hash-interleaved home of a shared line. */
+    CoreId
+    sharedHome(LineAddr line) const
+    {
+        // Low line bits give round-robin interleaving of consecutive
+        // lines across slices, as in Graphite/R-NUCA.
+        return static_cast<CoreId>(line % numCores_);
+    }
+
+    /**
+     * Replicated instruction home within the requester's cluster,
+     * rotationally interleaved so different clusters place the same
+     * line at different members.
+     */
+    CoreId
+    instructionHome(LineAddr line, CoreId requester) const
+    {
+        const std::uint32_t cluster = requester / clusterSize_;
+        const std::uint32_t member = static_cast<std::uint32_t>(
+            (line + cluster) % clusterSize_);
+        return static_cast<CoreId>(cluster * clusterSize_ + member);
+    }
+
+    /** Cluster index of a core. */
+    std::uint32_t clusterOf(CoreId core) const
+    {
+        return core / clusterSize_;
+    }
+
+  private:
+    std::uint32_t numCores_;
+    std::uint32_t clusterSize_;
+    bool enabled_;
+};
+
+} // namespace lacc
+
+#endif // LACC_RNUCA_PLACEMENT_HH

@@ -1,0 +1,72 @@
+#include "sim/log.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace lacc {
+
+namespace {
+bool verboseEnabled = true;
+
+void
+vprint(const char *tag, const char *fmt, va_list args)
+{
+    std::fprintf(stderr, "%s: ", tag);
+    std::vfprintf(stderr, fmt, args);
+    std::fprintf(stderr, "\n");
+}
+} // namespace
+
+void
+panic(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vprint("panic", fmt, args);
+    va_end(args);
+    std::abort();
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vprint("fatal", fmt, args);
+    va_end(args);
+    std::exit(1);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vprint("warn", fmt, args);
+    va_end(args);
+}
+
+void
+inform(const char *fmt, ...)
+{
+    if (!verboseEnabled)
+        return;
+    va_list args;
+    va_start(args, fmt);
+    vprint("info", fmt, args);
+    va_end(args);
+}
+
+void
+setVerbose(bool verbose)
+{
+    verboseEnabled = verbose;
+}
+
+bool
+isVerbose()
+{
+    return verboseEnabled;
+}
+
+} // namespace lacc

@@ -1,0 +1,50 @@
+#include "system/experiment.hh"
+
+#include <cstdlib>
+
+#include "sim/log.hh"
+#include "system/multicore.hh"
+#include "workload/suite.hh"
+
+namespace lacc {
+
+SystemConfig
+defaultConfig()
+{
+    return SystemConfig{}; // struct defaults reproduce Table 1
+}
+
+double
+opScaleFromEnv()
+{
+    const char *s = std::getenv("LACC_SCALE");
+    if (s == nullptr)
+        return 1.0;
+    const double v = std::atof(s);
+    if (v <= 0.0) {
+        warn("ignoring bad LACC_SCALE '%s'", s);
+        return 1.0;
+    }
+    return v;
+}
+
+RunResult
+runBenchmark(const std::string &bench, const SystemConfig &cfg,
+             double op_scale)
+{
+    if (op_scale <= 0.0)
+        op_scale = opScaleFromEnv();
+    auto workload = makeBenchmark(bench, cfg, op_scale);
+    Multicore system(cfg);
+    system.setFunctionalChecks(false);
+    const SystemStats &stats = system.run(*workload);
+
+    RunResult r;
+    r.stats = stats;
+    r.completionTime = stats.completionTime();
+    r.energyTotal = stats.energy.total();
+    r.functionalErrors = system.functionalErrors();
+    return r;
+}
+
+} // namespace lacc

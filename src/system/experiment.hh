@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Shared experiment runner for the bench/ binaries: builds a system
+ * for a named benchmark and configuration, runs it, and returns the
+ * statistics. Centralizes the op-count scaling knob (environment
+ * variable LACC_SCALE) so every figure binary honors it.
+ */
+
+#ifndef LACC_SYSTEM_EXPERIMENT_HH
+#define LACC_SYSTEM_EXPERIMENT_HH
+
+#include <string>
+
+#include "sim/config.hh"
+#include "sim/stats.hh"
+
+namespace lacc {
+
+/** Result of one benchmark x configuration simulation. */
+struct RunResult
+{
+    SystemStats stats;
+    Cycle completionTime = 0;
+    double energyTotal = 0.0;
+    std::uint64_t functionalErrors = 0;
+};
+
+/**
+ * Table 1 default configuration (64 cores, ACKwise_4, Limited_3,
+ * PCT = 4, RATmax = 16, nRATlevels = 2).
+ */
+SystemConfig defaultConfig();
+
+/**
+ * Op-count scale from the environment (LACC_SCALE, default 1.0).
+ * Raise it for higher-fidelity sweeps, lower it for smoke runs.
+ */
+double opScaleFromEnv();
+
+/**
+ * Run a named benchmark (workload/suite.hh) under @p cfg.
+ * Functional checking is disabled for speed (data still moves through
+ * the protocol; correctness is covered by the test suite).
+ *
+ * @param bench    benchmark name
+ * @param cfg      system configuration
+ * @param op_scale per-phase access multiplier; <= 0 reads LACC_SCALE
+ */
+RunResult runBenchmark(const std::string &bench, const SystemConfig &cfg,
+                       double op_scale = -1.0);
+
+} // namespace lacc
+
+#endif // LACC_SYSTEM_EXPERIMENT_HH

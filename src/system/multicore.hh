@@ -1,0 +1,232 @@
+/**
+ * @file
+ * The whole-system simulator: a tiled multicore running the
+ * Locality-Aware Adaptive Coherence protocol on a Private-L1
+ * Shared-L2 (R-NUCA) organization with ACKwise_p directories (§3.1).
+ *
+ * Modeling level mirrors the paper's Graphite setup (§4.1):
+ * trace-driven in-order 1-IPC cores with per-core clocks (lax
+ * synchronization), analytical mesh timing with link contention,
+ * per-line transaction serialization at the directory, and functional
+ * data movement through the protocol (values really travel via L1
+ * copies, word accesses, write-backs, and DRAM, and can be checked
+ * against a reference memory).
+ *
+ * Directory transactions execute atomically in simulated-time order:
+ * protocol state updates are instantaneous at transaction processing
+ * time while all message latencies and energies are accounted, which
+ * sidesteps transient-state races exactly the way cycle-approximate
+ * simulators do.
+ */
+
+#ifndef LACC_SYSTEM_MULTICORE_HH
+#define LACC_SYSTEM_MULTICORE_HH
+
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "core/classifier.hh"
+#include "dram/dram.hh"
+#include "energy/model.hh"
+#include "net/mesh.hh"
+#include "rnuca/page_table.hh"
+#include "rnuca/placement.hh"
+#include "sim/config.hh"
+#include "sim/stats.hh"
+#include "system/tile.hh"
+#include "workload/sync.hh"
+#include "workload/workload.hh"
+
+namespace lacc {
+
+/** The simulated multicore system; see file header. */
+class Multicore
+{
+  public:
+    explicit Multicore(const SystemConfig &cfg);
+
+    /**
+     * Enable/disable functional read checking against the reference
+     * memory (default on; benches disable it for speed — data still
+     * moves through the protocol either way).
+     */
+    void setFunctionalChecks(bool on) { checkFunctional_ = on; }
+
+    /**
+     * Run @p workload to completion and return the collected
+     * statistics. The workload's core count must match the
+     * configuration.
+     */
+    const SystemStats &run(Workload &workload);
+
+    /** Statistics of the last (or in-progress) run. */
+    const SystemStats &stats() const { return stats_; }
+
+    const SystemConfig &config() const { return cfg_; }
+
+    /** Functional mismatches observed (must be 0 after a run). */
+    std::uint64_t functionalErrors() const { return functionalErrors_; }
+
+    // ---- Test / inspection hooks --------------------------------------
+    Tile &tile(CoreId c) { return *tiles_[c]; }
+    const Tile &tile(CoreId c) const { return *tiles_[c]; }
+    MeshNetwork &network() { return mesh_; }
+    const PageTable &pageTable() const { return pageTable_; }
+    const Placement &placement() const { return placement_; }
+    LocalityClassifier &classifier() { return *classifier_; }
+    DramModel &dram() { return dram_; }
+
+    /**
+     * Test hook: perform one data access on @p core at its current
+     * local time (no workload needed). @return the completion time.
+     */
+    Cycle testAccess(CoreId core, Addr addr, bool is_write);
+
+  private:
+    // ---- Event loop -----------------------------------------------------
+    void step(CoreId c, const MemOp &op);
+    void schedule(CoreId c, Cycle t);
+    void finalizeStats(Workload &workload);
+
+    /**
+     * Warm-up boundary (Workload::warmupBarriers): zero all statistics
+     * while keeping caches, directories, page table, and link state
+     * warm. Called at a barrier release, when every core's clock
+     * equals @p t, so the per-core breakdown invariants restart
+     * cleanly.
+     */
+    void resetStatsForMeasurement(Cycle t);
+
+    // ---- Core-side paths --------------------------------------------------
+    /**
+     * One data or instruction access through the L1; advances the
+     * core's clock and attributes latency.
+     *
+     * @param charge_fetch_energy explicit accesses charge L1 energy;
+     *        walker-originated ifetches are covered by the bulk
+     *        per-instruction fetch energy
+     */
+    void memAccess(CoreId c, Addr addr, bool is_write, bool is_ifetch,
+                   bool charge_fetch_energy = true);
+
+    /** Advance the ifetch walker by @p n instructions. */
+    void advanceInstructions(CoreId c, std::uint64_t n,
+                             const Workload &workload);
+
+    // ---- Directory transaction --------------------------------------------
+    void missTransaction(CoreId c, Addr addr, bool is_write,
+                         bool is_ifetch, bool upgrade);
+
+    /**
+     * Find the line in the home slice or fill it from DRAM.
+     * Outputs the stage boundary times for attribution.
+     */
+    L2Cache::Entry *l2FindOrFill(CoreId home, LineAddr line, Cycle t_arr,
+                                 Cycle &t_ready, Cycle &waiting,
+                                 Cycle &offchip);
+
+    /**
+     * Invalidate all private holders except @p except; merges M data
+     * into the L2 copy. @return time all acks have been collected.
+     */
+    Cycle invalidateHolders(CoreId home, L2Cache::Entry &entry,
+                            CoreId except, Cycle t);
+
+    /** Downgrade the exclusive owner (read path): data to L2, owner
+     * keeps an S copy. @return ack time. */
+    Cycle syncWriteback(CoreId home, L2Cache::Entry &entry, Cycle t);
+
+    /** Install a line into an L1, evicting the victim if needed. */
+    void l1Fill(CoreId c, bool is_ifetch, LineAddr line,
+                const std::vector<std::uint64_t> &words, L1State st,
+                Cycle t);
+
+    /** Handle an L1 eviction: notify the home, classify (§3.2). */
+    void l1Evict(CoreId c, bool is_ifetch, L1Cache::Entry &victim,
+                 Cycle t);
+
+    /** Evict an L2 line: back-invalidate holders, write back. */
+    void l2Evict(CoreId home, L2Cache::Entry &victim, Cycle t);
+
+    /** R-NUCA private->shared re-homing flush (§3.1). */
+    void flushPageFromSlice(CoreId old_home, PageAddr page, Cycle t);
+
+    /**
+     * Remove one holder's L1 copy (shared invalidation mechanics).
+     *
+     * @param l2_eviction true when driven by an inclusive L2 eviction:
+     *        the locality state dies with the entry, so the classifier
+     *        is not consulted and the tracker records a capacity event
+     * @return ack flits (header, plus the line for an M write-back)
+     */
+    std::uint32_t dropHolderCopy(CoreId s, LineAddr line,
+                                 L2Cache::Entry &entry,
+                                 bool l2_eviction, Cycle t);
+
+    // ---- Synchronization -------------------------------------------------
+    void handleBarrier(CoreId c, Workload &workload);
+    void handleLockAcquire(CoreId c, std::uint32_t id,
+                           Workload &workload);
+    void handleLockRelease(CoreId c, std::uint32_t id,
+                           Workload &workload);
+
+    // ---- Functional data -----------------------------------------------
+    std::uint64_t nextValue() { return ++valueCounter_; }
+    void refWrite(Addr addr, std::uint64_t v);
+    void checkRead(Addr addr, std::uint64_t got);
+
+    // ---- Address helpers ---------------------------------------------------
+    LineAddr lineOf(Addr a) const { return a >> lineBits_; }
+    PageAddr pageOf(Addr a) const { return a >> pageBits_; }
+    PageAddr pageOfLine(LineAddr l) const
+    {
+        return l >> (pageBits_ - lineBits_);
+    }
+    std::uint32_t wordOf(Addr a) const
+    {
+        return static_cast<std::uint32_t>((a >> 3) &
+                                          (cfg_.wordsPerLine() - 1));
+    }
+
+    /** Home slice for a line (page table must already classify it). */
+    CoreId homeOf(LineAddr line, CoreId requester) const;
+
+    SystemConfig cfg_;
+    std::uint32_t lineBits_;
+    std::uint32_t pageBits_;
+
+    EnergyModel energy_;
+    MeshNetwork mesh_;
+    DramModel dram_;
+    PageTable pageTable_;
+    Placement placement_;
+    std::unique_ptr<LocalityClassifier> classifier_;
+
+    std::vector<std::unique_ptr<Tile>> tiles_;
+    SystemStats stats_;
+
+    // Event loop.
+    using QEntry = std::pair<Cycle, CoreId>;
+    std::priority_queue<QEntry, std::vector<QEntry>, std::greater<>>
+        queue_;
+    Workload *workload_ = nullptr;
+
+    // Synchronization.
+    BarrierState barrier_;
+    std::vector<LockState> locks_;
+    std::uint32_t barrierReleases_ = 0;
+    Cycle statsStart_ = 0; //!< measurement epoch (after warm-up)
+
+    // Functional reference memory (word granularity).
+    bool checkFunctional_ = true;
+    std::uint64_t valueCounter_ = 0;
+    std::uint64_t functionalErrors_ = 0;
+    std::unordered_map<Addr, std::uint64_t> refMem_;
+};
+
+} // namespace lacc
+
+#endif // LACC_SYSTEM_MULTICORE_HH

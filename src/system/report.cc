@@ -1,0 +1,80 @@
+#include "system/report.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "sim/log.hh"
+
+namespace lacc {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != headers_.size())
+        panic("table row arity %zu != header arity %zu", cells.size(),
+              headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t i = 0; i < headers_.size(); ++i)
+        width[i] = headers_[i].size();
+    for (const auto &row : rows_)
+        for (std::size_t i = 0; i < row.size(); ++i)
+            width[i] = std::max(width[i], row[i].size());
+
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            os << (i == 0 ? "" : "  ");
+            os << row[i];
+            for (std::size_t p = row[i].size(); p < width[i]; ++p)
+                os << ' ';
+        }
+        os << '\n';
+    };
+    emit(headers_);
+    std::vector<std::string> rule(headers_.size());
+    for (std::size_t i = 0; i < headers_.size(); ++i)
+        rule[i] = std::string(width[i], '-');
+    emit(rule);
+    for (const auto &row : rows_)
+        emit(row);
+}
+
+std::string
+fmt(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+fmtPct(double fraction, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f%%", precision,
+                  fraction * 100.0);
+    return buf;
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (const double v : values)
+        log_sum += std::log(v);
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+} // namespace lacc

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Plain-text table formatting for bench/ outputs: fixed-width columns,
+ * normalized breakdowns, and small numeric helpers (geometric mean).
+ */
+
+#ifndef LACC_SYSTEM_REPORT_HH
+#define LACC_SYSTEM_REPORT_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace lacc {
+
+/** Fixed-width text table (prints like the paper's data tables). */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a row; must match the header arity. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render with column alignment to @p os. */
+    void print(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with fixed precision. */
+std::string fmt(double v, int precision = 3);
+
+/** Format a percentage (0.153 -> "15.3%"). */
+std::string fmtPct(double fraction, int precision = 1);
+
+/** Geometric mean of positive values (returns 0 for empty input). */
+double geomean(const std::vector<double> &values);
+
+} // namespace lacc
+
+#endif // LACC_SYSTEM_REPORT_HH

@@ -1,0 +1,10 @@
+#include "system/tile.hh"
+
+// Tile is header-only; translation unit anchors the build and
+// instantiates the L2 template configuration.
+
+namespace lacc {
+
+template class SetAssocCache<L2Meta, true>;
+
+} // namespace lacc

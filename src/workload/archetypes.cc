@@ -1,0 +1,347 @@
+#include "workload/archetypes.hh"
+
+#include <algorithm>
+
+#include "sim/log.hh"
+
+namespace lacc {
+
+SyntheticWorkload::SyntheticWorkload(const SyntheticSpec &spec,
+                                     const SystemConfig &cfg)
+    : spec_(spec), lineSize_(cfg.lineSize),
+      // Each sweep line is touched PCT times so a sweep-induced
+      // eviction classifies the line *private* (utilization == PCT)
+      // and measurement starts from the paper's all-private initial
+      // state instead of a demoted, RAT-escalated one.
+      sweepTouches_(std::max<std::uint32_t>(cfg.pct, 1))
+{
+    if (spec_.numCores == 0)
+        fatal("workload needs at least one core");
+    if (spec.mix.sum() <= 0.0)
+        fatal("workload '%s' has an empty archetype mix",
+              spec_.name.c_str());
+
+    // Convert access-share weights into per-choice weights by dividing
+    // out each archetype's expected burst length (see ArchetypeWeights).
+    auto per_choice = [](double w, std::uint32_t burst) {
+        return w / static_cast<double>(std::max<std::uint32_t>(burst, 1));
+    };
+    choiceW_.privateHot =
+        per_choice(spec.mix.privateHot, spec.privateHotUtil);
+    choiceW_.privateStream =
+        per_choice(spec.mix.privateStream, spec.privateStreamUtil);
+    choiceW_.sharedRO = per_choice(spec.mix.sharedRO, spec.sharedROUtil);
+    const std::uint32_t pc_avg =
+        spec.sharingDegree > 0
+            ? (spec.pcWriteBurst +
+               (spec.sharingDegree - 1) * spec.pcReadBurst) /
+                  spec.sharingDegree
+            : spec.pcReadBurst;
+    choiceW_.sharedPC = per_choice(spec.mix.sharedPC, pc_avg);
+    choiceW_.sharedStream =
+        per_choice(spec.mix.sharedStream, spec.sharedStreamUtil);
+    choiceW_.lockRMW = per_choice(spec.mix.lockRMW, 2 * spec.csLines);
+    wSum_ = choiceW_.sum();
+    if (spec_.sharingDegree == 0 ||
+        spec_.numCores % spec_.sharingDegree != 0) {
+        fatal("sharingDegree (%u) must divide numCores (%u)",
+              spec_.sharingDegree, spec_.numCores);
+    }
+    if (spec_.mix.lockRMW > 0 &&
+        (spec_.numLocks == 0 || spec_.csLines == 0)) {
+        fatal("lockRMW archetype needs numLocks >= 1 and csLines >= 1");
+    }
+    if (spec_.numPhases == 0)
+        fatal("workload needs at least one phase");
+
+    AddressSpace as(cfg.pageSize);
+    sharedROBase_ = as.alloc(spec_.sharedROBytes);
+    sharedPCBase_ = as.alloc(spec_.sharedPCBytes);
+    sharedStreamBase_ = as.alloc(spec_.sharedStreamBytes);
+    lockBase_ = as.alloc(static_cast<std::uint64_t>(spec_.numLocks) *
+                         lineSize_);
+    csBase_ = as.alloc(static_cast<std::uint64_t>(spec_.numLocks) *
+                       spec_.csLines * lineSize_);
+    privateA_.reserve(spec_.numCores);
+    privateB_.reserve(spec_.numCores);
+    for (std::uint32_t c = 0; c < spec_.numCores; ++c)
+        privateA_.push_back(as.alloc(spec_.privateHotBytes));
+    for (std::uint32_t c = 0; c < spec_.numCores; ++c)
+        privateB_.push_back(as.alloc(spec_.privateStreamBytes));
+
+    gens_.resize(spec_.numCores);
+    for (std::uint32_t c = 0; c < spec_.numCores; ++c)
+        gens_[c].rng = Rng(spec_.seed * 0x100000001b3ULL + c);
+
+    // Warm-up coverage sweeps (only used when a warm-up phase exists).
+    if (warmupBarriers() > 0) {
+        sweep_.resize(spec_.numCores);
+        const std::uint32_t n = spec_.numCores;
+        auto chunk = [&](std::vector<Addr> &out, Addr base,
+                         std::uint64_t bytes, std::uint32_t part) {
+            const std::uint64_t lines =
+                std::max<std::uint64_t>(bytes / lineSize_, 1);
+            const std::uint64_t per = (lines + n - 1) / n;
+            const std::uint64_t first = per * part;
+            for (std::uint64_t i = first;
+                 i < std::min(first + per, lines); ++i)
+                out.push_back(base + i * lineSize_);
+        };
+        for (std::uint32_t c = 0; c < n; ++c) {
+            auto &sw = sweep_[c];
+            // Shared regions: core c sweeps chunks c and c+1 so every
+            // page sees two cores and R-NUCA re-homes it in warm-up.
+            for (std::uint32_t part : {c, (c + 1) % n}) {
+                chunk(sw, sharedROBase_, spec_.sharedROBytes, part);
+                chunk(sw, sharedPCBase_, spec_.sharedPCBytes, part);
+                chunk(sw, sharedStreamBase_, spec_.sharedStreamBytes,
+                      part);
+                chunk(sw, csBase_,
+                      static_cast<std::uint64_t>(spec_.numLocks) *
+                          spec_.csLines * lineSize_,
+                      part);
+            }
+            // Private regions last: the hot set ends most recent.
+            chunk(sw, privateB_[c], spec_.privateStreamBytes, 0);
+            for (std::uint32_t part = 1; part < n; ++part)
+                chunk(sw, privateB_[c], spec_.privateStreamBytes, part);
+            chunk(sw, privateA_[c], spec_.privateHotBytes, 0);
+            for (std::uint32_t part = 1; part < n; ++part)
+                chunk(sw, privateA_[c], spec_.privateHotBytes, part);
+        }
+    }
+}
+
+Addr
+SyntheticWorkload::lockAddr(std::uint32_t id) const
+{
+    return lockBase_ + static_cast<Addr>(id % spec_.numLocks) * lineSize_;
+}
+
+Addr
+SyntheticWorkload::privateHotBase(CoreId core, std::uint32_t phase) const
+{
+    // With phaseShift the hot and stream regions swap every phase, so
+    // lines demoted while streamed must be re-promoted when they turn
+    // hot (the Adapt1-way pathology, §3.7/§5.4).
+    if (spec_.phaseShift && (phase & 1))
+        return privateB_[core];
+    return privateA_[core];
+}
+
+Addr
+SyntheticWorkload::privateStreamBase(CoreId core,
+                                     std::uint32_t phase) const
+{
+    if (spec_.phaseShift && (phase & 1))
+        return privateA_[core];
+    return privateB_[core];
+}
+
+CoreId
+SyntheticWorkload::groupLeader(CoreId core) const
+{
+    return static_cast<CoreId>(core / spec_.sharingDegree *
+                               spec_.sharingDegree);
+}
+
+MemOp
+SyntheticWorkload::startBurst(CoreGen &g, Addr line_base,
+                              std::uint32_t util, bool is_write)
+{
+    g.burstAddr = line_base;
+    g.burstLeft = std::max<std::uint32_t>(util, 1);
+    g.burstIsWrite = is_write;
+    return continueBurst(g);
+}
+
+MemOp
+SyntheticWorkload::continueBurst(CoreGen &g)
+{
+    // Walk word offsets within the line so the burst has the spatial
+    // component of the paper's "spatio-temporal locality".
+    const Addr a = g.burstAddr;
+    g.burstAddr += 8;
+    if ((g.burstAddr & (lineSize_ - 1)) == 0)
+        g.burstAddr -= lineSize_; // wrap within the line
+    --g.burstLeft;
+    ++g.opsInPhase;
+    return g.burstIsWrite ? MemOp::write(a) : MemOp::read(a);
+}
+
+MemOp
+SyntheticWorkload::chooseAccess(CoreId core, CoreGen &g)
+{
+    const auto &w = choiceW_;
+    double roll = g.rng.uniform() * wSum_;
+    const std::uint64_t lines_of = lineSize_;
+
+    // ---- privateHot ------------------------------------------------------
+    if ((roll -= w.privateHot) < 0) {
+        const std::uint64_t lines =
+            std::max<std::uint64_t>(spec_.privateHotBytes / lines_of, 1);
+        const Addr base = privateHotBase(core, g.phase) +
+                          g.rng.below(lines) * lineSize_;
+        const bool wr = g.rng.chance(spec_.privateWriteFrac);
+        return startBurst(g, base, spec_.privateHotUtil, wr);
+    }
+
+    // ---- privateStream ----------------------------------------------------
+    if ((roll -= w.privateStream) < 0) {
+        const std::uint64_t lines = std::max<std::uint64_t>(
+            spec_.privateStreamBytes / lines_of, 1);
+        const Addr base = privateStreamBase(core, g.phase) +
+                          (g.privStreamCursor % lines) * lineSize_;
+        ++g.privStreamCursor;
+        const bool wr = g.rng.chance(spec_.privateWriteFrac);
+        return startBurst(g, base, spec_.privateStreamUtil, wr);
+    }
+
+    // ---- sharedRO ---------------------------------------------------------
+    if ((roll -= w.sharedRO) < 0) {
+        const std::uint64_t total_lines = std::max<std::uint64_t>(
+            spec_.sharedROBytes / lines_of, 1);
+        // Group-partitioned table: each group works on its slice, so
+        // sharers of a line are the group members.
+        const std::uint32_t groups =
+            spec_.numCores / spec_.sharingDegree;
+        const std::uint32_t group = core / spec_.sharingDegree;
+        const std::uint64_t slice =
+            std::max<std::uint64_t>(total_lines / groups, 1);
+        const Addr base =
+            sharedROBase_ +
+            (group * slice + g.rng.below(slice)) * lineSize_;
+        std::uint32_t util = spec_.sharedROUtil;
+        if (spec_.sharedROLeaderUtil != 0 && core == groupLeader(core))
+            util = spec_.sharedROLeaderUtil;
+        const bool write_phase =
+            !spec_.roWriteOddPhasesOnly || (g.phase & 1);
+        const bool wr = write_phase && g.rng.chance(spec_.roWriteFrac);
+        // Writes to read-mostly data are short touches that invalidate
+        // the readers.
+        return startBurst(g, base, wr ? 1 : util, wr);
+    }
+
+    // ---- sharedPC ----------------------------------------------------------
+    if ((roll -= w.sharedPC) < 0) {
+        const std::uint64_t total_lines = std::max<std::uint64_t>(
+            spec_.sharedPCBytes / lines_of, 1);
+        const std::uint64_t blocks = std::max<std::uint64_t>(
+            total_lines / spec_.pcBlockLines, 1);
+        const std::uint32_t groups =
+            spec_.numCores / spec_.sharingDegree;
+        const std::uint32_t group = core / spec_.sharingDegree;
+        const std::uint64_t group_blocks =
+            std::max<std::uint64_t>(blocks / groups, 1);
+        const std::uint64_t block =
+            group * group_blocks + g.rng.below(group_blocks);
+        const std::uint32_t writer_idx =
+            static_cast<std::uint32_t>((block + g.phase) %
+                                       spec_.sharingDegree);
+        const CoreId writer = static_cast<CoreId>(
+            group * spec_.sharingDegree + writer_idx);
+        const Addr line = sharedPCBase_ +
+                          (block * spec_.pcBlockLines +
+                           g.rng.below(spec_.pcBlockLines)) *
+                              lineSize_;
+        if (core == writer)
+            return startBurst(g, line, spec_.pcWriteBurst, true);
+        return startBurst(g, line, spec_.pcReadBurst, false);
+    }
+
+    // ---- sharedStream --------------------------------------------------------
+    if ((roll -= w.sharedStream) < 0) {
+        const std::uint64_t lines = std::max<std::uint64_t>(
+            spec_.sharedStreamBytes / lines_of, 1);
+        if (g.sharedStreamCursor == 0) {
+            // Scatter the cores across the region.
+            g.sharedStreamCursor = g.rng.below(lines);
+        }
+        const Addr base = sharedStreamBase_ +
+                          (g.sharedStreamCursor % lines) * lineSize_;
+        ++g.sharedStreamCursor;
+        const bool wr = g.rng.chance(spec_.streamWriteFrac);
+        return startBurst(g, base, spec_.sharedStreamUtil, wr);
+    }
+
+    // ---- lockRMW ---------------------------------------------------------------
+    g.cs = CoreGen::CsState::Body;
+    g.csLock = static_cast<std::uint32_t>(g.rng.below(spec_.numLocks));
+    g.csLineIdx = 0;
+    g.csWritePending = false;
+    g.csBase = csBase_ + static_cast<Addr>(g.csLock) * spec_.csLines *
+                             lineSize_;
+    return MemOp::lockAcquire(g.csLock);
+}
+
+MemOp
+SyntheticWorkload::next(CoreId core)
+{
+    CoreGen &g = gens_[core];
+    if (g.done)
+        return MemOp::done();
+
+    // Warm-up coverage sweep: uncounted reads at the start of phase 0
+    // (cold misses land in the warm-up epoch); each line is touched
+    // sweepTouches_ times (see the constructor).
+    if (g.phase == 0 && !sweep_.empty() &&
+        g.sweepIdx < sweep_[core].size()) {
+        const Addr a = sweep_[core][g.sweepIdx];
+        if (++g.sweepRep >= sweepTouches_) {
+            g.sweepRep = 0;
+            ++g.sweepIdx;
+        }
+        return MemOp::read(a);
+    }
+
+    // Finish an active burst first.
+    if (g.burstLeft > 0)
+        return continueBurst(g);
+
+    // Critical-section state machine.
+    if (g.cs == CoreGen::CsState::Body) {
+        if (g.csWritePending) {
+            g.csWritePending = false;
+            const Addr a = g.csBase + g.csLineIdx * lineSize_;
+            ++g.csLineIdx;
+            ++g.opsInPhase;
+            if (g.csLineIdx >= spec_.csLines)
+                g.cs = CoreGen::CsState::Release;
+            return MemOp::write(a);
+        }
+        const Addr a = g.csBase + g.csLineIdx * lineSize_;
+        g.csWritePending = true;
+        ++g.opsInPhase;
+        return MemOp::read(a);
+    }
+    if (g.cs == CoreGen::CsState::Release) {
+        g.cs = CoreGen::CsState::None;
+        return MemOp::lockRelease(g.csLock);
+    }
+
+    // Phase boundary.
+    if (g.opsInPhase >= spec_.opsPerPhase) {
+        g.opsInPhase = 0;
+        ++g.phase;
+        if (g.phase >= spec_.numPhases) {
+            g.done = true;
+            return MemOp::done();
+        }
+        return MemOp::barrier();
+    }
+
+    // Compute padding between accesses.
+    if (spec_.computePerMemop > 0 && g.computePending) {
+        g.computePending = false;
+        // +/- 50% deterministic jitter keeps cores out of lockstep.
+        const std::uint32_t c = spec_.computePerMemop;
+        const std::uint32_t jitter =
+            c > 1 ? static_cast<std::uint32_t>(g.rng.below(c)) : 0;
+        return MemOp::compute(c / 2 + jitter + 1);
+    }
+    g.computePending = true;
+
+    return chooseAccess(core, g);
+}
+
+} // namespace lacc

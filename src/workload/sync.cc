@@ -1,0 +1,37 @@
+#include "workload/sync.hh"
+
+#include <algorithm>
+
+#include "sim/log.hh"
+
+namespace lacc {
+
+BarrierState::BarrierState(std::uint32_t num_cores)
+    : numCores_(num_cores), arrival_(num_cores, 0)
+{
+    waiters_.reserve(num_cores);
+}
+
+bool
+BarrierState::arrive(CoreId core, Cycle t)
+{
+    if (arrived_ >= numCores_)
+        panic("barrier arrival overflow (core %u)", core);
+    arrival_[core] = t;
+    maxArrival_ = std::max(maxArrival_, t);
+    ++arrived_;
+    if (arrived_ == numCores_)
+        return true;
+    waiters_.push_back(core);
+    return false;
+}
+
+void
+BarrierState::resetGeneration()
+{
+    arrived_ = 0;
+    maxArrival_ = 0;
+    waiters_.clear();
+}
+
+} // namespace lacc

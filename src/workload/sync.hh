@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Synchronization bookkeeping: a single global barrier and a set of
+ * queue-based locks.
+ *
+ * The Multicore drives these: barrier arrivals and lock transfers also
+ * generate real coherence traffic on their backing cache lines, so
+ * contended synchronization exercises the protocol exactly as the
+ * paper describes (critical-section memory latency feeds the
+ * synchronization component of other cores, §5.1.2).
+ */
+
+#ifndef LACC_WORKLOAD_SYNC_HH
+#define LACC_WORKLOAD_SYNC_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace lacc {
+
+/** Centralized sense-reversing barrier state. */
+class BarrierState
+{
+  public:
+    explicit BarrierState(std::uint32_t num_cores);
+
+    /**
+     * Record an arrival at time @p t.
+     * @return true when this arrival is the last one (release).
+     */
+    bool arrive(CoreId core, Cycle t);
+
+    /** Release time = max arrival time of the current generation. */
+    Cycle releaseTime() const { return maxArrival_; }
+
+    /** Arrival time of a specific waiting core. */
+    Cycle arrivalOf(CoreId core) const { return arrival_[core]; }
+
+    /** Cores currently waiting (excluding the releasing arrival). */
+    const std::vector<CoreId> &waiters() const { return waiters_; }
+
+    /** Reset for the next generation (after release handling). */
+    void resetGeneration();
+
+    /** Number of cores arrived in the current generation. */
+    std::uint32_t arrivedCount() const { return arrived_; }
+
+  private:
+    std::uint32_t numCores_;
+    std::uint32_t arrived_ = 0;
+    Cycle maxArrival_ = 0;
+    std::vector<Cycle> arrival_;
+    std::vector<CoreId> waiters_;
+};
+
+/** Queue-based (MCS-flavored) lock state. */
+class LockState
+{
+  public:
+    /** A queued waiter. */
+    struct Waiter
+    {
+        CoreId core;
+        Cycle readyAt; //!< time its acquire transaction completed
+    };
+
+    bool held() const { return held_; }
+    CoreId holder() const { return holder_; }
+    std::size_t queueLength() const { return queue_.size(); }
+
+    /** Grant immediately if free. @return true if acquired. */
+    bool
+    tryAcquire(CoreId core)
+    {
+        if (held_)
+            return false;
+        held_ = true;
+        holder_ = core;
+        return true;
+    }
+
+    /** Enqueue a contended waiter. */
+    void
+    enqueue(CoreId core, Cycle ready_at)
+    {
+        queue_.push_back({core, ready_at});
+    }
+
+    /**
+     * Release by the holder; hands over to the head waiter if any.
+     *
+     * @param next_out the woken waiter (valid iff return is true)
+     * @return true when ownership transferred to a waiter
+     */
+    bool
+    release(CoreId core, Waiter &next_out)
+    {
+        (void)core;
+        if (queue_.empty()) {
+            held_ = false;
+            holder_ = kInvalidCore;
+            return false;
+        }
+        next_out = queue_.front();
+        queue_.pop_front();
+        holder_ = next_out.core;
+        return true;
+    }
+
+  private:
+    bool held_ = false;
+    CoreId holder_ = kInvalidCore;
+    std::deque<Waiter> queue_;
+};
+
+} // namespace lacc
+
+#endif // LACC_WORKLOAD_SYNC_HH

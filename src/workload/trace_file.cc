@@ -1,0 +1,168 @@
+#include "workload/trace_file.hh"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "sim/log.hh"
+
+namespace lacc {
+
+TraceWorkload::TraceWorkload(std::string name,
+                             std::vector<std::vector<MemOp>> streams,
+                             std::uint32_t num_locks)
+    : name_(std::move(name)), streams_(std::move(streams)),
+      pos_(streams_.size(), 0), numLocks_(num_locks)
+{
+    if (streams_.empty())
+        fatal("trace workload '%s' has no cores", name_.c_str());
+}
+
+MemOp
+TraceWorkload::next(CoreId core)
+{
+    auto &p = pos_[core];
+    const auto &s = streams_[core];
+    if (p >= s.size())
+        return MemOp::done();
+    return s[p++];
+}
+
+std::size_t
+TraceWorkload::remaining(CoreId core) const
+{
+    return streams_[core].size() - pos_[core];
+}
+
+TraceWorkload
+TraceWorkload::parse(std::istream &in, std::string name)
+{
+    std::string line;
+    std::uint32_t num_cores = 0, num_locks = 0;
+    std::vector<std::vector<MemOp>> streams;
+    std::size_t line_no = 0;
+
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ls(line);
+        std::string first;
+        ls >> first;
+        if (first == "trace") {
+            if (!(ls >> num_cores >> num_locks) || num_cores == 0)
+                fatal("trace header malformed at line %zu", line_no);
+            streams.assign(num_cores, {});
+            continue;
+        }
+        if (streams.empty())
+            fatal("trace body before 'trace' header (line %zu)", line_no);
+
+        std::uint32_t core = 0;
+        try {
+            core = static_cast<std::uint32_t>(std::stoul(first));
+        } catch (...) {
+            fatal("bad core id '%s' at line %zu", first.c_str(), line_no);
+        }
+        if (core >= num_cores)
+            fatal("core id %u out of range at line %zu", core, line_no);
+
+        std::string op;
+        if (!(ls >> op))
+            fatal("missing op at line %zu", line_no);
+
+        auto &stream = streams[core];
+        if (op == "r" || op == "w" || op == "f") {
+            std::string hex;
+            if (!(ls >> hex))
+                fatal("missing address at line %zu", line_no);
+            Addr a = 0;
+            try {
+                a = std::stoull(hex, nullptr, 16);
+            } catch (...) {
+                fatal("bad address '%s' at line %zu", hex.c_str(),
+                      line_no);
+            }
+            if (op == "r")
+                stream.push_back(MemOp::read(a));
+            else if (op == "w")
+                stream.push_back(MemOp::write(a));
+            else
+                stream.push_back(MemOp::ifetch(a));
+        } else if (op == "c") {
+            std::uint32_t n = 0;
+            if (!(ls >> n))
+                fatal("missing cycle count at line %zu", line_no);
+            stream.push_back(MemOp::compute(n));
+        } else if (op == "b") {
+            stream.push_back(MemOp::barrier());
+        } else if (op == "a" || op == "l") {
+            std::uint32_t id = 0;
+            if (!(ls >> id))
+                fatal("missing lock id at line %zu", line_no);
+            if (id >= num_locks)
+                fatal("lock id %u out of range at line %zu", id, line_no);
+            stream.push_back(op == "a" ? MemOp::lockAcquire(id)
+                                       : MemOp::lockRelease(id));
+        } else {
+            fatal("unknown op '%s' at line %zu", op.c_str(), line_no);
+        }
+    }
+    if (streams.empty())
+        fatal("trace '%s' missing 'trace' header", name.c_str());
+    return TraceWorkload(std::move(name), std::move(streams), num_locks);
+}
+
+TraceWorkload
+TraceWorkload::load(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open trace file '%s'", path.c_str());
+    return parse(in, path);
+}
+
+void
+TraceWorkload::save(std::ostream &out) const
+{
+    out << "# lacc trace\n";
+    out << "trace " << streams_.size() << " " << numLocks_ << "\n";
+    char buf[32];
+    for (std::size_t c = 0; c < streams_.size(); ++c) {
+        for (const auto &op : streams_[c]) {
+            switch (op.kind) {
+              case MemOp::Kind::Read:
+                std::snprintf(buf, sizeof buf, "%llx",
+                              static_cast<unsigned long long>(op.addr));
+                out << c << " r " << buf << "\n";
+                break;
+              case MemOp::Kind::Write:
+                std::snprintf(buf, sizeof buf, "%llx",
+                              static_cast<unsigned long long>(op.addr));
+                out << c << " w " << buf << "\n";
+                break;
+              case MemOp::Kind::IFetch:
+                std::snprintf(buf, sizeof buf, "%llx",
+                              static_cast<unsigned long long>(op.addr));
+                out << c << " f " << buf << "\n";
+                break;
+              case MemOp::Kind::Compute:
+                out << c << " c " << op.count << "\n";
+                break;
+              case MemOp::Kind::Barrier:
+                out << c << " b\n";
+                break;
+              case MemOp::Kind::LockAcquire:
+                out << c << " a " << op.lockId << "\n";
+                break;
+              case MemOp::Kind::LockRelease:
+                out << c << " l " << op.lockId << "\n";
+                break;
+              case MemOp::Kind::Done:
+                break;
+            }
+        }
+    }
+}
+
+} // namespace lacc

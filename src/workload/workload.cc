@@ -1,0 +1,4 @@
+#include "workload/workload.hh"
+
+// Workload interfaces are header-only; translation unit anchors the
+// build.

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Reproduction regression guards: scaled-down (16-core, reduced op
+ * budget) versions of the paper's headline directional claims. These
+ * protect the calibrated workload suite and protocol against
+ * regressions that full-size bench sweeps would only catch slowly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "system/experiment.hh"
+
+namespace lacc {
+namespace {
+
+SystemConfig
+cfg16()
+{
+    // Full 64-core geometry (the suite's group slicing is calibrated
+    // for it) at a reduced op budget to keep the guards fast.
+    return defaultConfig();
+}
+
+constexpr double kScale = 0.3;
+
+RunResult
+runWith(const std::string &bench, SystemConfig cfg)
+{
+    return runBenchmark(bench, cfg, kScale);
+}
+
+TEST(Claims, AdaptiveCutsEnergyOnConversionBenchmarks)
+{
+    // §5.1.1: benchmarks converting capacity or sharing misses into
+    // word misses save significant energy at PCT 4 vs PCT 1.
+    // (streamcluster/dijkstra-ss need longer epochs for their
+    // sharing conversions to pay off; the full-size Fig 8 sweep
+    // covers them.)
+    for (const std::string bench :
+         {"blackscholes", "concomp", "dfs"}) {
+        auto base = cfg16();
+        base.classifierKind = ClassifierKind::AlwaysPrivate;
+        base.pct = 1;
+        auto adapt = cfg16();
+        const auto rb = runWith(bench, base);
+        const auto ra = runWith(bench, adapt);
+        EXPECT_LT(ra.energyTotal, 0.9 * rb.energyTotal) << bench;
+    }
+}
+
+TEST(Claims, AdaptiveImprovesCompletionOnConversionBenchmarks)
+{
+    for (const std::string bench :
+         {"blackscholes", "concomp", "dijkstra-ap"}) {
+        auto base = cfg16();
+        base.classifierKind = ClassifierKind::AlwaysPrivate;
+        base.pct = 1;
+        const auto rb = runWith(bench, base);
+        const auto ra = runWith(bench, cfg16());
+        EXPECT_LT(static_cast<double>(ra.completionTime),
+                  1.05 * static_cast<double>(rb.completionTime))
+            << bench;
+    }
+}
+
+TEST(Claims, AdaptiveReducesNetworkTraffic)
+{
+    // The central energy mechanism: fewer line movements and
+    // invalidations mean fewer flit-hops.
+    for (const std::string bench : {"streamcluster", "concomp"}) {
+        auto base = cfg16();
+        base.classifierKind = ClassifierKind::AlwaysPrivate;
+        base.pct = 1;
+        const auto rb = runWith(bench, base);
+        const auto ra = runWith(bench, cfg16());
+        EXPECT_LT(ra.stats.network.flitHops, rb.stats.network.flitHops)
+            << bench;
+    }
+}
+
+TEST(Claims, InsensitiveBenchmarkStaysFlat)
+{
+    // water-sp: tiny working set, nearly no misses -> PCT cannot
+    // matter much (§5.1, Fig 13 "identical to WATER-SP" remark).
+    auto base = cfg16();
+    base.classifierKind = ClassifierKind::AlwaysPrivate;
+    base.pct = 1;
+    const auto rb = runWith("water-sp", base);
+    const auto ra = runWith("water-sp", cfg16());
+    const double ratio = static_cast<double>(ra.completionTime) /
+                         static_cast<double>(rb.completionTime);
+    EXPECT_GT(ratio, 0.85);
+    EXPECT_LT(ratio, 1.15);
+}
+
+TEST(Claims, Limited3TracksComplete)
+{
+    // §5.3: Limited_3 within a few percent of the Complete classifier.
+    for (const std::string bench : {"streamcluster", "barnes"}) {
+        auto complete = cfg16();
+        complete.classifierKind = ClassifierKind::Complete;
+        auto limited = cfg16();
+        limited.classifierKind = ClassifierKind::Limited;
+        limited.classifierK = 3;
+        const auto rc = runWith(bench, complete);
+        const auto rl = runWith(bench, limited);
+        const double ratio = static_cast<double>(rl.completionTime) /
+                             static_cast<double>(rc.completionTime);
+        EXPECT_GT(ratio, 0.8) << bench;
+        EXPECT_LT(ratio, 1.2) << bench;
+    }
+}
+
+TEST(Claims, OneWayHurtsBodytrack)
+{
+    // §5.4: bodytrack is the one-way protocol's worst case.
+    auto two = cfg16();
+    auto one = cfg16();
+    one.protocolKind = ProtocolKind::AdaptOneWay;
+    const auto r2 = runWith("bodytrack", two);
+    const auto r1 = runWith("bodytrack", one);
+    EXPECT_GT(static_cast<double>(r1.completionTime),
+              1.3 * static_cast<double>(r2.completionTime));
+}
+
+TEST(Claims, AckwiseWithinFewPercentOfFullMap)
+{
+    // §5: the ACKwise_4 baseline performs like a full-map directory.
+    for (const std::string bench : {"barnes", "streamcluster"}) {
+        auto ack = cfg16();
+        ack.classifierKind = ClassifierKind::AlwaysPrivate;
+        ack.pct = 1;
+        auto fm = ack;
+        fm.directoryKind = DirectoryKind::FullMap;
+        const auto ra = runWith(bench, ack);
+        const auto rf = runWith(bench, fm);
+        const double ratio = static_cast<double>(ra.completionTime) /
+                             static_cast<double>(rf.completionTime);
+        EXPECT_GT(ratio, 0.95) << bench;
+        EXPECT_LT(ratio, 1.05) << bench;
+    }
+}
+
+TEST(Claims, WordMissesReplaceSharingMisses)
+{
+    // Fig 10 mechanism on streamcluster: raising PCT turns sharing
+    // misses into word misses.
+    const auto r1 = runWith("streamcluster", [] {
+        auto c = cfg16();
+        c.classifierKind = ClassifierKind::AlwaysPrivate;
+        c.pct = 1;
+        return c;
+    }());
+    const auto r4 = runWith("streamcluster", cfg16());
+    const auto m1 = r1.stats.totalMisses();
+    const auto m4 = r4.stats.totalMisses();
+    EXPECT_GT(m4.get(MissType::Word), m1.get(MissType::Word));
+    EXPECT_LT(m4.get(MissType::Sharing), m1.get(MissType::Sharing));
+}
+
+} // namespace
+} // namespace lacc

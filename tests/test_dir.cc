@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Unit tests for sharer tracking: ACKwise_p exact/overflow semantics
+ * and the full-map baseline.
+ */
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "dir/sharer_list.hh"
+
+namespace lacc {
+namespace {
+
+TEST(Ackwise, ExactTrackingBelowP)
+{
+    auto s = SharerList::makeAckwise(4);
+    s.add(3);
+    s.add(7);
+    s.add(11);
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_FALSE(s.overflowed());
+    EXPECT_TRUE(s.contains(3));
+    EXPECT_TRUE(s.contains(7));
+    EXPECT_TRUE(s.contains(11));
+    EXPECT_FALSE(s.contains(5));
+}
+
+TEST(Ackwise, AddIdempotent)
+{
+    auto s = SharerList::makeAckwise(4);
+    s.add(3);
+    s.add(3);
+    EXPECT_EQ(s.count(), 1u);
+}
+
+TEST(Ackwise, OverflowAtPPlusOne)
+{
+    auto s = SharerList::makeAckwise(2);
+    s.add(0);
+    s.add(1);
+    EXPECT_FALSE(s.overflowed());
+    s.add(2);
+    EXPECT_TRUE(s.overflowed());
+    EXPECT_EQ(s.count(), 3u);
+    // Pointer-resident identities survive; the third is untracked.
+    EXPECT_TRUE(s.contains(0));
+    EXPECT_TRUE(s.contains(1));
+    EXPECT_FALSE(s.contains(2));
+}
+
+TEST(Ackwise, OverflowCountsFurtherAdds)
+{
+    auto s = SharerList::makeAckwise(2);
+    for (CoreId c = 0; c < 10; ++c)
+        s.add(c);
+    EXPECT_EQ(s.count(), 10u);
+    EXPECT_TRUE(s.overflowed());
+}
+
+TEST(Ackwise, RemoveTrackedInExactMode)
+{
+    auto s = SharerList::makeAckwise(4);
+    s.add(1);
+    s.add(2);
+    s.remove(1);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_FALSE(s.contains(1));
+    EXPECT_TRUE(s.contains(2));
+}
+
+TEST(Ackwise, RemoveUntrackedInOverflowDecrements)
+{
+    auto s = SharerList::makeAckwise(2);
+    s.add(0);
+    s.add(1);
+    s.add(2); // overflow; core 2 untracked
+    s.remove(2);
+    EXPECT_EQ(s.count(), 2u);
+    EXPECT_TRUE(s.overflowed()) << "identities are lost until empty";
+}
+
+TEST(Ackwise, OverflowClearsWhenEmpty)
+{
+    auto s = SharerList::makeAckwise(2);
+    s.add(0);
+    s.add(1);
+    s.add(2);
+    s.remove(0);
+    s.remove(1);
+    s.remove(2);
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_FALSE(s.overflowed());
+    // Exact mode works again.
+    s.add(9);
+    EXPECT_TRUE(s.contains(9));
+    EXPECT_FALSE(s.overflowed());
+}
+
+TEST(Ackwise, ClearResets)
+{
+    auto s = SharerList::makeAckwise(2);
+    s.add(0);
+    s.add(1);
+    s.add(2);
+    s.clear();
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_FALSE(s.overflowed());
+    EXPECT_TRUE(s.tracked().empty());
+}
+
+TEST(Ackwise, ForEachTrackedVisitsPointerResidents)
+{
+    auto s = SharerList::makeAckwise(3);
+    s.add(5);
+    s.add(9);
+    auto t = s.tracked();
+    ASSERT_EQ(t.size(), 2u);
+    EXPECT_NE(std::find(t.begin(), t.end(), 5), t.end());
+    EXPECT_NE(std::find(t.begin(), t.end(), 9), t.end());
+}
+
+TEST(Ackwise, ReusesFreedSlot)
+{
+    auto s = SharerList::makeAckwise(2);
+    s.add(0);
+    s.add(1);
+    s.remove(0);
+    s.add(2); // slot freed by 0
+    EXPECT_FALSE(s.overflowed());
+    EXPECT_TRUE(s.contains(2));
+    EXPECT_EQ(s.count(), 2u);
+}
+
+TEST(FullMap, NeverOverflows)
+{
+    auto s = SharerList::makeFullMap(128);
+    for (CoreId c = 0; c < 128; ++c)
+        s.add(c);
+    EXPECT_EQ(s.count(), 128u);
+    EXPECT_FALSE(s.overflowed());
+    for (CoreId c = 0; c < 128; ++c)
+        EXPECT_TRUE(s.contains(c));
+}
+
+TEST(FullMap, AddRemove)
+{
+    auto s = SharerList::makeFullMap(64);
+    s.add(63);
+    s.add(0);
+    s.add(63);
+    EXPECT_EQ(s.count(), 2u);
+    s.remove(63);
+    EXPECT_FALSE(s.contains(63));
+    EXPECT_TRUE(s.contains(0));
+    EXPECT_EQ(s.count(), 1u);
+}
+
+TEST(FullMap, TrackedListsAllSharers)
+{
+    auto s = SharerList::makeFullMap(70);
+    s.add(0);
+    s.add(64);
+    s.add(69);
+    auto t = s.tracked();
+    ASSERT_EQ(t.size(), 3u);
+    EXPECT_EQ(t[0], 0);
+    EXPECT_EQ(t[1], 64);
+    EXPECT_EQ(t[2], 69);
+}
+
+TEST(FullMap, IsFullMapFlag)
+{
+    EXPECT_TRUE(SharerList::makeFullMap(4).isFullMap());
+    EXPECT_FALSE(SharerList::makeAckwise(4).isFullMap());
+}
+
+} // namespace
+} // namespace lacc

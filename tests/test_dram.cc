@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Unit tests for the DRAM/memory-controller model: latency,
+ * bandwidth queueing, interleaving, and functional storage.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dram/dram.hh"
+
+namespace lacc {
+namespace {
+
+TEST(Dram, LatencyIncludesSerialization)
+{
+    SystemConfig cfg;
+    DramModel d(cfg);
+    // 64 B / 5 GBps = 12.8 -> 13 cycles serialization + 100 latency.
+    const Cycle done = d.access(0, 1000);
+    EXPECT_EQ(done, 1000 + 100 + 13);
+}
+
+TEST(Dram, BandwidthQueueing)
+{
+    SystemConfig cfg;
+    DramModel d(cfg);
+    // Two back-to-back accesses to the same controller (same line id
+    // modulo controllers).
+    const Cycle a = d.access(0, 0);
+    const Cycle b = d.access(8, 0); // 8 % 8 == 0: same controller
+    EXPECT_EQ(a, 113u);
+    EXPECT_EQ(b, a + 13);
+    EXPECT_EQ(d.queueingCycles(), 13u);
+}
+
+TEST(Dram, ControllersIndependent)
+{
+    SystemConfig cfg;
+    DramModel d(cfg);
+    const Cycle a = d.access(0, 0);
+    const Cycle b = d.access(1, 0); // different controller
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(d.queueingCycles(), 0u);
+}
+
+TEST(Dram, ControllerTilesSpread)
+{
+    SystemConfig cfg;
+    DramModel d(cfg);
+    const auto &tiles = d.controllerTiles();
+    ASSERT_EQ(tiles.size(), 8u);
+    for (std::size_t i = 1; i < tiles.size(); ++i)
+        EXPECT_GT(tiles[i], tiles[i - 1]);
+    EXPECT_LT(tiles.back(), 64);
+}
+
+TEST(Dram, LineInterleaving)
+{
+    SystemConfig cfg;
+    DramModel d(cfg);
+    EXPECT_EQ(d.controllerTile(0), d.controllerTile(8));
+    EXPECT_NE(d.controllerTile(0), d.controllerTile(1));
+}
+
+TEST(Dram, FunctionalStorageRoundTrips)
+{
+    SystemConfig cfg;
+    DramModel d(cfg);
+    std::vector<std::uint64_t> w(8, 0);
+    d.readLine(0x42, w, 8);
+    for (auto v : w)
+        EXPECT_EQ(v, 0u);
+    w[3] = 1234;
+    d.writeLine(0x42, w);
+    std::vector<std::uint64_t> r;
+    d.readLine(0x42, r, 8);
+    ASSERT_EQ(r.size(), 8u);
+    EXPECT_EQ(r[3], 1234u);
+    EXPECT_EQ(r[0], 0u);
+}
+
+TEST(Dram, AccessCounting)
+{
+    SystemConfig cfg;
+    DramModel d(cfg);
+    d.access(0, 0);
+    d.access(1, 0);
+    EXPECT_EQ(d.accesses(), 2u);
+}
+
+TEST(Dram, IdleGapNoQueueing)
+{
+    SystemConfig cfg;
+    DramModel d(cfg);
+    d.access(0, 0);
+    const Cycle b = d.access(8, 10000); // long after controller frees
+    EXPECT_EQ(b, 10000 + 113);
+    EXPECT_EQ(d.queueingCycles(), 0u);
+}
+
+} // namespace
+} // namespace lacc

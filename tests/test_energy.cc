@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Unit tests for the dynamic energy model: per-event accounting,
+ * 11 nm relative magnitudes (§4.2), and word-vs-line L2 access costs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "energy/model.hh"
+
+namespace lacc {
+namespace {
+
+TEST(Energy, DefaultsFollow11nmTrends)
+{
+    const auto p = EnergyParams::defaults11nm();
+    // Links cost more than routers per flit-hop (§5.1.1).
+    EXPECT_GT(p.linkFlit, p.routerFlit);
+    // A word access in the word-addressable L2 is much cheaper than a
+    // full line access (§4.2).
+    EXPECT_LT(p.l2WordAccess, p.l2LineAccess / 4);
+    // Directory accesses are negligible next to cache accesses
+    // (§5.1.1 motivates integrating the directory into the L2 tags).
+    EXPECT_LT(p.dirAccess, p.l1iAccess);
+    // Bigger arrays cost more per access.
+    EXPECT_GT(p.l1dAccess, p.l1iAccess);
+    EXPECT_GT(p.l2LineAccess, p.l1Fill);
+}
+
+TEST(Energy, AccumulatesPerComponent)
+{
+    EnergyModel e;
+    e.addL1iAccess();
+    e.addL1dAccess();
+    e.addL1dAccess();
+    e.addL2Word();
+    e.addL2Line();
+    e.addDirAccess();
+    e.addRouter(10);
+    e.addLink(10);
+    const auto &b = e.breakdown();
+    const auto &p = e.params();
+    EXPECT_DOUBLE_EQ(b.l1i, p.l1iAccess);
+    EXPECT_DOUBLE_EQ(b.l1d, 2 * p.l1dAccess);
+    EXPECT_DOUBLE_EQ(b.l2, p.l2WordAccess + p.l2LineAccess);
+    EXPECT_DOUBLE_EQ(b.directory, p.dirAccess);
+    EXPECT_DOUBLE_EQ(b.router, 10 * p.routerFlit);
+    EXPECT_DOUBLE_EQ(b.link, 10 * p.linkFlit);
+    EXPECT_GT(b.total(), 0.0);
+}
+
+TEST(Energy, BulkInstructionFetches)
+{
+    EnergyModel e;
+    e.addL1iAccesses(1000);
+    EXPECT_DOUBLE_EQ(e.breakdown().l1i,
+                     1000 * e.params().l1iAccess);
+}
+
+TEST(Energy, ResetClears)
+{
+    EnergyModel e;
+    e.addL2Line();
+    e.addLink(5);
+    e.reset();
+    EXPECT_DOUBLE_EQ(e.breakdown().total(), 0.0);
+}
+
+TEST(Energy, CustomParams)
+{
+    EnergyParams p;
+    p.l2WordAccess = 1.0;
+    p.l2LineAccess = 100.0;
+    EnergyModel e(p);
+    e.addL2Word();
+    EXPECT_DOUBLE_EQ(e.breakdown().l2, 1.0);
+    e.addL2Line();
+    EXPECT_DOUBLE_EQ(e.breakdown().l2, 101.0);
+}
+
+TEST(Energy, WordCheaperThanLinePathEndToEnd)
+{
+    // The protocol-level consequence: a remote word access (word L2
+    // access + 2-flit reply) must cost less dynamic energy than a
+    // line grant (line L2 access + 9-flit reply + L1 fill).
+    const auto p = EnergyParams::defaults11nm();
+    const double word_path = p.l2WordAccess + 2 * (p.routerFlit +
+                                                   p.linkFlit);
+    const double line_path = p.l2LineAccess +
+                             9 * (p.routerFlit + p.linkFlit) + p.l1Fill;
+    EXPECT_LT(word_path, line_path / 3);
+}
+
+} // namespace
+} // namespace lacc

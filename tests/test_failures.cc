@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Failure-injection tests: malformed workloads and configurations
+ * must die loudly (deadlock detection, unbalanced barriers, releasing
+ * an unheld lock, bad config values, malformed trace files) rather
+ * than corrupt results.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "system/multicore.hh"
+#include "workload/trace_file.hh"
+
+namespace lacc {
+namespace {
+
+SystemConfig
+tinyCfg(std::uint32_t cores = 2)
+{
+    SystemConfig c;
+    c.numCores = cores;
+    c.meshWidth = 2;
+    c.clusterSize = cores >= 2 ? 2 : 1;
+    c.numMemControllers = 2;
+    return c;
+}
+
+TEST(Failures, UnbalancedBarrierDeadlocks)
+{
+    // Core 0 barriers; core 1 never does: the run must panic with a
+    // deadlock diagnostic instead of hanging or silently finishing.
+    std::vector<std::vector<MemOp>> streams(2);
+    streams[0] = {MemOp::barrier()};
+    streams[1] = {MemOp::compute(5)};
+    TraceWorkload wl("bad-barrier", streams, 0);
+    Multicore m(tinyCfg());
+    EXPECT_DEATH(m.run(wl), "deadlock");
+}
+
+TEST(Failures, LockNeverReleasedDeadlocksWaiters)
+{
+    std::vector<std::vector<MemOp>> streams(2);
+    streams[0] = {MemOp::lockAcquire(0), MemOp::compute(5)};
+    streams[1] = {MemOp::lockAcquire(0), MemOp::lockRelease(0)};
+    TraceWorkload wl("lock-leak", streams, 1);
+    Multicore m(tinyCfg());
+    EXPECT_DEATH(m.run(wl), "deadlock");
+}
+
+TEST(Failures, ReleaseWithoutHoldIsFatal)
+{
+    std::vector<std::vector<MemOp>> streams(2);
+    streams[0] = {MemOp::lockRelease(0)};
+    streams[1] = {MemOp::compute(1)};
+    TraceWorkload wl("bad-release", streams, 1);
+    Multicore m(tinyCfg());
+    EXPECT_EXIT(m.run(wl), testing::ExitedWithCode(1),
+                "does not hold");
+}
+
+TEST(Failures, LockIdOutOfRangeIsFatal)
+{
+    std::vector<std::vector<MemOp>> streams(2);
+    streams[0] = {MemOp::lockAcquire(7)};
+    streams[1] = {MemOp::compute(1)};
+    TraceWorkload wl("bad-lock-id", streams, 1);
+    Multicore m(tinyCfg());
+    EXPECT_EXIT(m.run(wl), testing::ExitedWithCode(1), "out of range");
+}
+
+TEST(Failures, BadConfigsAreFatal)
+{
+    SystemConfig c = tinyCfg();
+    c.numCores = 3; // not a multiple of meshWidth=2
+    EXPECT_EXIT(c.validate(), testing::ExitedWithCode(1), "multiple");
+
+    c = tinyCfg();
+    c.lineSize = 48; // not a power of two
+    EXPECT_EXIT(c.validate(), testing::ExitedWithCode(1), "power");
+
+    c = tinyCfg();
+    c.pct = 0;
+    EXPECT_EXIT(c.validate(), testing::ExitedWithCode(1), "PCT");
+
+    c = tinyCfg();
+    c.ratMax = 2; // < pct = 4
+    EXPECT_EXIT(c.validate(), testing::ExitedWithCode(1), "RATmax");
+
+    c = tinyCfg();
+    c.numMemControllers = 64; // > cores
+    EXPECT_EXIT(c.validate(), testing::ExitedWithCode(1),
+                "numMemControllers");
+}
+
+TEST(Failures, MalformedTraceIsFatal)
+{
+    {
+        std::istringstream is("0 r ff\n"); // body before header
+        EXPECT_EXIT(TraceWorkload::parse(is, "x"),
+                    testing::ExitedWithCode(1), "header");
+    }
+    {
+        std::istringstream is("trace 1 0\n9 r ff\n"); // bad core id
+        EXPECT_EXIT(TraceWorkload::parse(is, "x"),
+                    testing::ExitedWithCode(1), "range");
+    }
+    {
+        std::istringstream is("trace 1 0\n0 q ff\n"); // unknown op
+        EXPECT_EXIT(TraceWorkload::parse(is, "x"),
+                    testing::ExitedWithCode(1), "unknown op");
+    }
+    {
+        std::istringstream is("trace 1 1\n0 a 5\n"); // lock id range
+        EXPECT_EXIT(TraceWorkload::parse(is, "x"),
+                    testing::ExitedWithCode(1), "out of range");
+    }
+    {
+        std::istringstream is("trace 1 0\n0 r zz\n"); // bad address
+        EXPECT_EXIT(TraceWorkload::parse(is, "x"),
+                    testing::ExitedWithCode(1), "bad address");
+    }
+}
+
+TEST(Failures, MissingTraceFileIsFatal)
+{
+    EXPECT_EXIT(TraceWorkload::load("/nonexistent/path.trace"),
+                testing::ExitedWithCode(1), "cannot open");
+}
+
+} // namespace
+} // namespace lacc

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Unit tests for the 2-D mesh network: XY distances, wormhole
+ * serialization, link contention, broadcast tree coverage, and
+ * energy/traffic accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "energy/model.hh"
+#include "net/mesh.hh"
+
+namespace lacc {
+namespace {
+
+SystemConfig
+meshCfg(std::uint32_t cores, std::uint32_t width)
+{
+    SystemConfig cfg;
+    cfg.numCores = cores;
+    cfg.meshWidth = width;
+    cfg.clusterSize = cores >= 4 ? 4 : 1;
+    cfg.numMemControllers = cores >= 8 ? 8 : 1;
+    return cfg;
+}
+
+TEST(Mesh, Coordinates)
+{
+    EnergyModel e;
+    MeshNetwork net(meshCfg(64, 8), e);
+    EXPECT_EQ(net.xOf(0), 0u);
+    EXPECT_EQ(net.yOf(0), 0u);
+    EXPECT_EQ(net.xOf(9), 1u);
+    EXPECT_EQ(net.yOf(9), 1u);
+    EXPECT_EQ(net.xOf(63), 7u);
+    EXPECT_EQ(net.yOf(63), 7u);
+}
+
+TEST(Mesh, HopCountManhattan)
+{
+    EnergyModel e;
+    MeshNetwork net(meshCfg(64, 8), e);
+    EXPECT_EQ(net.hopCount(0, 0), 0u);
+    EXPECT_EQ(net.hopCount(0, 7), 7u);
+    EXPECT_EQ(net.hopCount(0, 63), 14u);
+    EXPECT_EQ(net.hopCount(9, 18), 2u);
+}
+
+TEST(Mesh, IdealLatency)
+{
+    EnergyModel e;
+    MeshNetwork net(meshCfg(64, 8), e);
+    // hops * 2 + (flits - 1)
+    EXPECT_EQ(net.idealLatency(0, 1, 1), 2u);
+    EXPECT_EQ(net.idealLatency(0, 1, 9), 10u);
+    EXPECT_EQ(net.idealLatency(0, 63, 1), 28u);
+}
+
+TEST(Mesh, UnicastMatchesIdealWithoutContention)
+{
+    EnergyModel e;
+    MeshNetwork net(meshCfg(64, 8), e);
+    const Cycle t = net.unicast(0, 63, 9, 1000);
+    EXPECT_EQ(t, 1000 + net.idealLatency(0, 63, 9));
+}
+
+TEST(Mesh, LocalDeliveryIsFree)
+{
+    EnergyModel e;
+    MeshNetwork net(meshCfg(64, 8), e);
+    EXPECT_EQ(net.unicast(5, 5, 9, 123), 123u);
+    EXPECT_EQ(net.stats().flitHops, 0u);
+    EXPECT_DOUBLE_EQ(e.breakdown().link, 0.0);
+}
+
+TEST(Mesh, ContentionDelaysSecondMessage)
+{
+    EnergyModel e;
+    MeshNetwork net(meshCfg(4, 2), e);
+    // Two 8-flit messages over the same single link 0->1 at t=0.
+    const Cycle a = net.unicast(0, 1, 8, 0);
+    const Cycle b = net.unicast(0, 1, 8, 0);
+    EXPECT_EQ(a, net.idealLatency(0, 1, 8));
+    EXPECT_GT(b, a);
+    EXPECT_GE(net.stats().contentionCycles, 7u);
+}
+
+TEST(Mesh, ContentionDisabledWhenConfigured)
+{
+    auto cfg = meshCfg(4, 2);
+    cfg.modelContention = false;
+    EnergyModel e;
+    MeshNetwork net(cfg, e);
+    const Cycle a = net.unicast(0, 1, 8, 0);
+    const Cycle b = net.unicast(0, 1, 8, 0);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(net.stats().contentionCycles, 0u);
+}
+
+TEST(Mesh, DisjointPathsNoContention)
+{
+    EnergyModel e;
+    MeshNetwork net(meshCfg(64, 8), e);
+    const Cycle a = net.unicast(0, 7, 8, 0);
+    const Cycle b = net.unicast(56, 63, 8, 0); // different row
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(net.stats().contentionCycles, 0u);
+}
+
+TEST(Mesh, XYRoutingOrder)
+{
+    // A's X-leg (row 0) and B's Y-leg share no link under XY routing
+    // even though their paths cross at tile 3.
+    EnergyModel e;
+    MeshNetwork net(meshCfg(64, 8), e);
+    net.unicast(0, 7, 8, 0);   // row 0 eastward
+    net.unicast(3, 59, 8, 0);  // straight down column 3
+    EXPECT_EQ(net.stats().contentionCycles, 0u);
+}
+
+TEST(Mesh, BroadcastReachesAll)
+{
+    EnergyModel e;
+    MeshNetwork net(meshCfg(64, 8), e);
+    std::vector<Cycle> arrivals;
+    const Cycle max_t = net.broadcast(27, 1, 500, arrivals);
+    ASSERT_EQ(arrivals.size(), 64u);
+    Cycle seen_max = 0;
+    for (CoreId c = 0; c < 64; ++c) {
+        if (c == 27)
+            continue;
+        EXPECT_GE(arrivals[c], 500 + net.idealLatency(27, c, 1))
+            << "core " << c;
+        seen_max = std::max(seen_max, arrivals[c]);
+    }
+    EXPECT_EQ(max_t, seen_max);
+}
+
+TEST(Mesh, BroadcastUsesSpanningTreeLinks)
+{
+    EnergyModel e;
+    MeshNetwork net(meshCfg(64, 8), e);
+    std::vector<Cycle> arrivals;
+    net.broadcast(0, 1, 0, arrivals);
+    // N-1 tree links, 1 flit each.
+    EXPECT_EQ(net.stats().flitHops, 63u);
+    EXPECT_EQ(net.stats().broadcasts, 1u);
+}
+
+TEST(Mesh, BroadcastCheaperThanUnicastStorm)
+{
+    EnergyModel e1, e2;
+    MeshNetwork a(meshCfg(64, 8), e1);
+    MeshNetwork b(meshCfg(64, 8), e2);
+    std::vector<Cycle> arrivals;
+    a.broadcast(0, 1, 0, arrivals);
+    for (CoreId c = 1; c < 64; ++c)
+        b.unicast(0, c, 1, 0);
+    EXPECT_LT(a.stats().flitHops, b.stats().flitHops);
+    EXPECT_LT(e1.breakdown().link, e2.breakdown().link);
+}
+
+TEST(Mesh, EnergyLinkExceedsRouterPerDefaults)
+{
+    // 11nm trend (§5.1.1): links cost more than routers.
+    EnergyModel e;
+    MeshNetwork net(meshCfg(64, 8), e);
+    net.unicast(0, 63, 8, 0);
+    EXPECT_GT(e.breakdown().link, e.breakdown().router);
+}
+
+TEST(Mesh, StatsAccumulateAndReset)
+{
+    EnergyModel e;
+    MeshNetwork net(meshCfg(16, 4), e);
+    net.unicast(0, 15, 2, 0);
+    EXPECT_EQ(net.stats().unicasts, 1u);
+    EXPECT_EQ(net.stats().flitsInjected, 2u);
+    EXPECT_EQ(net.stats().flitHops, 2u * net.hopCount(0, 15));
+    net.reset();
+    EXPECT_EQ(net.stats().unicasts, 0u);
+    EXPECT_EQ(net.stats().flitHops, 0u);
+}
+
+TEST(Mesh, NonSquareMesh)
+{
+    EnergyModel e;
+    MeshNetwork net(meshCfg(8, 4), e); // 4x2 mesh
+    EXPECT_EQ(net.hopCount(0, 7), 4u);
+    std::vector<Cycle> arrivals;
+    net.broadcast(5, 1, 0, arrivals);
+    EXPECT_EQ(net.stats().flitHops, 7u);
+}
+
+} // namespace
+} // namespace lacc

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Unit tests for R-NUCA page classification and home placement.
+ */
+
+#include <gtest/gtest.h>
+
+#include "rnuca/page_table.hh"
+#include "rnuca/placement.hh"
+
+namespace lacc {
+namespace {
+
+TEST(PageTable, FirstTouchIsPrivate)
+{
+    PageTable pt;
+    auto r = pt.access(0x100, 5, false);
+    EXPECT_EQ(r.record.cls, PageClass::PrivateData);
+    EXPECT_EQ(r.record.owner, 5);
+    EXPECT_FALSE(r.rehomed);
+}
+
+TEST(PageTable, SameCoreStaysPrivate)
+{
+    PageTable pt;
+    pt.access(0x100, 5, false);
+    auto r = pt.access(0x100, 5, false);
+    EXPECT_EQ(r.record.cls, PageClass::PrivateData);
+    EXPECT_FALSE(r.rehomed);
+}
+
+TEST(PageTable, SecondCoreTriggersRehome)
+{
+    PageTable pt;
+    pt.access(0x100, 5, false);
+    auto r = pt.access(0x100, 9, false);
+    EXPECT_EQ(r.record.cls, PageClass::SharedData);
+    EXPECT_TRUE(r.rehomed);
+    EXPECT_EQ(r.oldOwner, 5);
+    // Further accesses stay shared with no more rehoming.
+    auto r2 = pt.access(0x100, 5, false);
+    EXPECT_EQ(r2.record.cls, PageClass::SharedData);
+    EXPECT_FALSE(r2.rehomed);
+}
+
+TEST(PageTable, IfetchClassifiesInstruction)
+{
+    PageTable pt;
+    auto r = pt.access(0x200, 3, true);
+    EXPECT_EQ(r.record.cls, PageClass::Instruction);
+    // Instruction pages are never re-homed by other fetchers.
+    auto r2 = pt.access(0x200, 60, true);
+    EXPECT_EQ(r2.record.cls, PageClass::Instruction);
+    EXPECT_FALSE(r2.rehomed);
+}
+
+TEST(PageTable, LookupAndCounts)
+{
+    PageTable pt;
+    EXPECT_EQ(pt.lookup(0x1), nullptr);
+    pt.access(0x1, 0, false);
+    pt.access(0x2, 0, false);
+    pt.access(0x2, 1, false);
+    pt.access(0x3, 0, true);
+    ASSERT_NE(pt.lookup(0x1), nullptr);
+    EXPECT_EQ(pt.countClass(PageClass::PrivateData), 1u);
+    EXPECT_EQ(pt.countClass(PageClass::SharedData), 1u);
+    EXPECT_EQ(pt.countClass(PageClass::Instruction), 1u);
+    EXPECT_EQ(pt.size(), 3u);
+}
+
+TEST(Placement, PrivateDataHomesAtOwner)
+{
+    SystemConfig cfg;
+    Placement p(cfg);
+    PageTable::Record rec{PageClass::PrivateData, 17};
+    EXPECT_EQ(p.home(0x1234, rec, 3), 17);
+    EXPECT_EQ(p.home(0x9999, rec, 40), 17);
+}
+
+TEST(Placement, SharedDataInterleavesByLine)
+{
+    SystemConfig cfg;
+    Placement p(cfg);
+    PageTable::Record rec{PageClass::SharedData, kInvalidCore};
+    // Consecutive lines round-robin across all 64 slices.
+    EXPECT_EQ(p.home(0, rec, 0), 0);
+    EXPECT_EQ(p.home(1, rec, 0), 1);
+    EXPECT_EQ(p.home(63, rec, 0), 63);
+    EXPECT_EQ(p.home(64, rec, 0), 0);
+    // Requester-independent.
+    EXPECT_EQ(p.home(7, rec, 12), p.home(7, rec, 55));
+}
+
+TEST(Placement, InstructionStaysInCluster)
+{
+    SystemConfig cfg; // 64 cores, clusters of 4
+    Placement p(cfg);
+    PageTable::Record rec{PageClass::Instruction, kInvalidCore};
+    for (CoreId c = 0; c < 64; ++c) {
+        const CoreId h = p.home(0x42, rec, c);
+        EXPECT_EQ(h / 4, c / 4) << "core " << c;
+    }
+}
+
+TEST(Placement, InstructionRotationalInterleaving)
+{
+    SystemConfig cfg;
+    Placement p(cfg);
+    PageTable::Record rec{PageClass::Instruction, kInvalidCore};
+    // Within one cluster, consecutive lines hit different members.
+    const CoreId h0 = p.home(0, rec, 0);
+    const CoreId h1 = p.home(1, rec, 0);
+    const CoreId h2 = p.home(2, rec, 0);
+    const CoreId h3 = p.home(3, rec, 0);
+    EXPECT_NE(h0, h1);
+    EXPECT_NE(h1, h2);
+    EXPECT_NE(h2, h3);
+    // The same line maps to a different member in another cluster
+    // (rotational interleaving).
+    const CoreId other = p.home(0, rec, 4);
+    EXPECT_EQ(other / 4, 1u);
+    EXPECT_NE(other % 4, h0 % 4);
+}
+
+TEST(Placement, StaticNucaAblationHashesEverything)
+{
+    SystemConfig cfg;
+    cfg.rnucaEnabled = false;
+    Placement p(cfg);
+    EXPECT_FALSE(p.enabled());
+    PageTable::Record priv{PageClass::PrivateData, 17};
+    PageTable::Record instr{PageClass::Instruction, kInvalidCore};
+    // All classes collapse onto the hash home.
+    EXPECT_EQ(p.home(0x1234, priv, 3), p.sharedHome(0x1234));
+    EXPECT_EQ(p.home(0x1234, instr, 3), p.sharedHome(0x1234));
+    EXPECT_EQ(p.home(0x1234, instr, 60), p.sharedHome(0x1234));
+}
+
+TEST(Placement, ClusterOf)
+{
+    SystemConfig cfg;
+    Placement p(cfg);
+    EXPECT_EQ(p.clusterOf(0), 0u);
+    EXPECT_EQ(p.clusterOf(3), 0u);
+    EXPECT_EQ(p.clusterOf(4), 1u);
+    EXPECT_EQ(p.clusterOf(63), 15u);
+}
+
+} // namespace
+} // namespace lacc

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Unit tests for the sim base module: RNG determinism, configuration
+ * validation and derived values, statistics containers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/config.hh"
+#include "sim/rng.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace lacc {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i) {
+        const auto v = r.below(13);
+        EXPECT_LT(v, 13u);
+    }
+}
+
+TEST(Rng, BelowCoversRange)
+{
+    Rng r(11);
+    std::vector<int> seen(8, 0);
+    for (int i = 0; i < 8000; ++i)
+        ++seen[r.below(8)];
+    for (int b = 0; b < 8; ++b)
+        EXPECT_GT(seen[b], 500) << "bucket " << b;
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(3);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceEdgeCases)
+{
+    Rng r(9);
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+}
+
+TEST(Rng, BurstLengthBounded)
+{
+    Rng r(5);
+    for (int i = 0; i < 1000; ++i) {
+        const auto len = r.burstLength(4.0, 16);
+        EXPECT_GE(len, 1u);
+        EXPECT_LE(len, 16u);
+    }
+}
+
+TEST(Config, Table1Defaults)
+{
+    const SystemConfig cfg;
+    EXPECT_EQ(cfg.numCores, 64u);
+    EXPECT_EQ(cfg.meshWidth, 8u);
+    EXPECT_EQ(cfg.meshHeight(), 8u);
+    EXPECT_EQ(cfg.lineSize, 64u);
+    EXPECT_EQ(cfg.l1iSizeKB, 16u);
+    EXPECT_EQ(cfg.l1dSizeKB, 32u);
+    EXPECT_EQ(cfg.l2SizeKB, 256u);
+    EXPECT_EQ(cfg.l1Latency, 1u);
+    EXPECT_EQ(cfg.l2Latency, 7u);
+    EXPECT_EQ(cfg.numMemControllers, 8u);
+    EXPECT_EQ(cfg.dramLatency, 100u);
+    EXPECT_EQ(cfg.ackwisePointers, 4u);
+    EXPECT_EQ(cfg.pct, 4u);
+    EXPECT_EQ(cfg.ratMax, 16u);
+    EXPECT_EQ(cfg.nRatLevels, 2u);
+    EXPECT_EQ(cfg.classifierK, 3u);
+    EXPECT_EQ(cfg.classifierKind, ClassifierKind::Limited);
+    EXPECT_EQ(cfg.directoryKind, DirectoryKind::Ackwise);
+    EXPECT_NO_FATAL_FAILURE(cfg.validate());
+}
+
+TEST(Config, DerivedGeometry)
+{
+    const SystemConfig cfg;
+    // 32 KB / 64 B / 4-way = 128 sets; 16 KB -> 64; 256 KB/8-way -> 512.
+    EXPECT_EQ(cfg.l1dSets(), 128u);
+    EXPECT_EQ(cfg.l1iSets(), 64u);
+    EXPECT_EQ(cfg.l2Sets(), 512u);
+    EXPECT_EQ(cfg.wordsPerLine(), 8u);
+}
+
+TEST(Config, RatLevelsAdditive)
+{
+    SystemConfig cfg;
+    cfg.pct = 4;
+    cfg.ratMax = 16;
+    cfg.nRatLevels = 2;
+    EXPECT_EQ(cfg.ratForLevel(0), 4u);
+    EXPECT_EQ(cfg.ratForLevel(1), 16u);
+    EXPECT_EQ(cfg.ratForLevel(5), 16u); // clamped
+
+    cfg.nRatLevels = 4;
+    EXPECT_EQ(cfg.ratForLevel(0), 4u);
+    EXPECT_EQ(cfg.ratForLevel(1), 8u);
+    EXPECT_EQ(cfg.ratForLevel(2), 12u);
+    EXPECT_EQ(cfg.ratForLevel(3), 16u);
+
+    cfg.nRatLevels = 1;
+    EXPECT_EQ(cfg.ratForLevel(0), 4u);
+}
+
+TEST(Config, SummaryMentionsKeyKnobs)
+{
+    SystemConfig cfg;
+    const auto s = cfg.summary();
+    EXPECT_NE(s.find("64 cores"), std::string::npos);
+    EXPECT_NE(s.find("PCT=4"), std::string::npos);
+    EXPECT_NE(s.find("Limited3"), std::string::npos);
+}
+
+TEST(Stats, LatencyBreakdownSumsAndAccumulates)
+{
+    LatencyBreakdown a;
+    a.compute = 10;
+    a.l1ToL2 = 5;
+    a.l2Waiting = 3;
+    a.l2Sharers = 2;
+    a.offChip = 7;
+    a.synchronization = 4;
+    EXPECT_EQ(a.total(), 31u);
+    LatencyBreakdown b = a;
+    b += a;
+    EXPECT_EQ(b.total(), 62u);
+}
+
+TEST(Stats, MissBreakdownRecords)
+{
+    MissBreakdown m;
+    m.record(MissType::Cold);
+    m.record(MissType::Cold);
+    m.record(MissType::Word);
+    EXPECT_EQ(m.get(MissType::Cold), 2u);
+    EXPECT_EQ(m.get(MissType::Word), 1u);
+    EXPECT_EQ(m.total(), 3u);
+}
+
+TEST(Stats, UtilizationHistogramBuckets)
+{
+    UtilizationHistogram h;
+    h.record(1);
+    h.record(2);
+    h.record(3);
+    h.record(4);
+    h.record(8);
+    h.record(100); // clamped into >= 8 bucket
+    EXPECT_EQ(h.total(), 6u);
+    EXPECT_DOUBLE_EQ(h.bucketFraction(0), 1.0 / 6);
+    EXPECT_DOUBLE_EQ(h.bucketFraction(1), 2.0 / 6);
+    EXPECT_DOUBLE_EQ(h.bucketFraction(2), 1.0 / 6);
+    EXPECT_DOUBLE_EQ(h.bucketFraction(3), 0.0);
+    EXPECT_DOUBLE_EQ(h.bucketFraction(4), 2.0 / 6);
+    EXPECT_DOUBLE_EQ(h.fractionBelow(4), 3.0 / 6);
+}
+
+TEST(Stats, CacheStatsMissRate)
+{
+    CacheStats s;
+    s.loads = 90;
+    s.stores = 10;
+    s.loadMisses = 5;
+    s.storeMisses = 5;
+    EXPECT_EQ(s.accesses(), 100u);
+    EXPECT_DOUBLE_EQ(s.missRate(), 0.1);
+}
+
+TEST(Stats, SystemStatsCompletionIsMax)
+{
+    SystemStats s;
+    s.perCore.resize(3);
+    s.perCore[0].finishTime = 10;
+    s.perCore[1].finishTime = 42;
+    s.perCore[2].finishTime = 17;
+    EXPECT_EQ(s.completionTime(), 42u);
+}
+
+TEST(Types, MissTypeNames)
+{
+    EXPECT_STREQ(missTypeName(MissType::Cold), "Cold");
+    EXPECT_STREQ(missTypeName(MissType::Word), "Word");
+    EXPECT_STREQ(modeName(Mode::Private), "Private");
+    EXPECT_STREQ(modeName(Mode::Remote), "Remote");
+}
+
+} // namespace
+} // namespace lacc

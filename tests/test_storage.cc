@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Tests for the §3.6 storage-overhead model: reproduces the paper's
+ * arithmetic exactly (18 KB Limited_3, 192 KB Complete, 12 KB
+ * ACKwise_4, 32 KB full-map, 0.19 KB L1 bits, 5.7% / 60% overheads).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/storage_model.hh"
+#include "system/experiment.hh"
+
+namespace lacc {
+namespace {
+
+TEST(Storage, BitsFor)
+{
+    EXPECT_EQ(StorageModel::bitsFor(1), 0u);
+    EXPECT_EQ(StorageModel::bitsFor(2), 1u);
+    EXPECT_EQ(StorageModel::bitsFor(4), 2u);
+    EXPECT_EQ(StorageModel::bitsFor(16), 4u);
+    EXPECT_EQ(StorageModel::bitsFor(64), 6u);
+    EXPECT_EQ(StorageModel::bitsFor(5), 3u);
+}
+
+TEST(Storage, DirectoryEntriesPerCore)
+{
+    StorageModel m(defaultConfig());
+    // 256 KB / 64 B = 4096 entries (one per L2 line).
+    EXPECT_EQ(m.dirEntriesPerCore(), 4096u);
+}
+
+TEST(Storage, L1UtilizationBits)
+{
+    StorageModel m(defaultConfig());
+    EXPECT_EQ(m.l1UtilBitsPerLine(), 2u); // PCT = 4
+    // Paper: 2/512 x (16+32) KB = 0.1875 KB.
+    EXPECT_NEAR(m.l1OverheadKB(), 0.1875, 1e-9);
+}
+
+TEST(Storage, LimitedThreeIs18KB)
+{
+    StorageModel m(defaultConfig());
+    // 12 bits per tracked core (1 mode + 4 util + 1 RAT + 6 core id).
+    EXPECT_EQ(m.localityBitsPerTrackedCore(true), 12u);
+    EXPECT_EQ(m.limitedBitsPerEntry(), 36u);
+    EXPECT_NEAR(m.limitedOverheadKB(), 18.0, 1e-9);
+}
+
+TEST(Storage, CompleteIs192KB)
+{
+    StorageModel m(defaultConfig());
+    // 6 bits per core x 64 cores = 384 bits per entry.
+    EXPECT_EQ(m.localityBitsPerTrackedCore(false), 6u);
+    EXPECT_EQ(m.completeBitsPerEntry(), 384u);
+    EXPECT_NEAR(m.completeOverheadKB(), 192.0, 1e-9);
+}
+
+TEST(Storage, AckwiseAndFullMap)
+{
+    StorageModel m(defaultConfig());
+    EXPECT_EQ(m.ackwiseBitsPerEntry(), 24u); // 4 x 6 bits
+    EXPECT_NEAR(m.ackwiseKB(), 12.0, 1e-9);
+    EXPECT_EQ(m.fullMapBitsPerEntry(), 64u);
+    EXPECT_NEAR(m.fullMapKB(), 32.0, 1e-9);
+}
+
+TEST(Storage, LimitedPlusAckwiseBeatsFullMap)
+{
+    StorageModel m(defaultConfig());
+    // 12 + 18 KB < 32 KB (§3.6 headline claim).
+    EXPECT_LT(m.ackwiseKB() + m.limitedOverheadKB(), m.fullMapKB());
+}
+
+TEST(Storage, OverheadPercentages)
+{
+    StorageModel m(defaultConfig());
+    // Paper: 5.7% over baseline ACKwise_4 for Limited_3...
+    EXPECT_NEAR(m.overheadPercentVsAckwise(false), 5.7, 0.2);
+    // ... and 60% for the Complete classifier.
+    EXPECT_NEAR(m.overheadPercentVsAckwise(true), 60.0, 2.0);
+}
+
+TEST(Storage, ScalesWithCoreCount)
+{
+    auto cfg = defaultConfig();
+    cfg.numCores = 1024;
+    cfg.meshWidth = 32;
+    StorageModel m(cfg);
+    // Complete classifier becomes >10x the cache budget territory
+    // while Limited_k grows only with log2(cores).
+    EXPECT_GT(m.completeOverheadKB(), 5 * m.cacheKB());
+    EXPECT_EQ(m.localityBitsPerTrackedCore(true), 16u); // 10-bit id
+    EXPECT_LT(m.limitedOverheadKB(), 30.0);
+}
+
+} // namespace
+} // namespace lacc

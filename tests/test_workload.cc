@@ -1,0 +1,348 @@
+/**
+ * @file
+ * Tests for the workload layer: address-space layout, the synthetic
+ * generator's determinism and structural guarantees, the 21-benchmark
+ * suite, trace round-trips, and synchronization primitives.
+ */
+
+#include <map>
+#include <set>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "workload/archetypes.hh"
+#include "workload/suite.hh"
+#include "workload/sync.hh"
+#include "workload/trace_file.hh"
+#include "workload/workload.hh"
+
+namespace lacc {
+namespace {
+
+SystemConfig
+cfg8()
+{
+    SystemConfig c;
+    c.numCores = 8;
+    c.meshWidth = 4;
+    c.clusterSize = 4;
+    c.numMemControllers = 2;
+    return c;
+}
+
+SyntheticSpec
+tinySpec()
+{
+    SyntheticSpec s;
+    s.name = "tiny";
+    s.numCores = 8;
+    s.mix.privateHot = 0.5;
+    s.mix.privateStream = 0.3;
+    s.mix.sharedRO = 0.2;
+    s.opsPerPhase = 200;
+    s.numPhases = 2;
+    s.computePerMemop = 1;
+    s.sharingDegree = 4;
+    return s;
+}
+
+TEST(AddressSpace, PageAlignedDisjointRegions)
+{
+    AddressSpace as(4096);
+    const Addr a = as.alloc(100);
+    const Addr b = as.alloc(5000);
+    const Addr c = as.alloc(1);
+    EXPECT_EQ(a % 4096, 0u);
+    EXPECT_EQ(b % 4096, 0u);
+    EXPECT_EQ(c % 4096, 0u);
+    EXPECT_GE(b, a + 4096);
+    EXPECT_GE(c, b + 8192);
+}
+
+TEST(Synthetic, DeterministicStreams)
+{
+    auto cfg = cfg8();
+    SyntheticWorkload w1(tinySpec(), cfg);
+    SyntheticWorkload w2(tinySpec(), cfg);
+    for (int i = 0; i < 2000; ++i) {
+        const MemOp a = w1.next(3);
+        const MemOp b = w2.next(3);
+        ASSERT_EQ(static_cast<int>(a.kind), static_cast<int>(b.kind));
+        ASSERT_EQ(a.addr, b.addr);
+        ASSERT_EQ(a.count, b.count);
+    }
+}
+
+TEST(Synthetic, CoresDiffer)
+{
+    auto cfg = cfg8();
+    SyntheticWorkload w(tinySpec(), cfg);
+    int diff = 0;
+    for (int i = 0; i < 200; ++i) {
+        const MemOp a = w.next(0);
+        const MemOp b = w.next(1);
+        diff += !(a.kind == b.kind && a.addr == b.addr);
+    }
+    EXPECT_GT(diff, 50);
+}
+
+TEST(Synthetic, BarrierCountsMatchAcrossCores)
+{
+    auto cfg = cfg8();
+    SyntheticWorkload w(tinySpec(), cfg);
+    std::vector<int> barriers(8, 0);
+    for (CoreId c = 0; c < 8; ++c) {
+        for (;;) {
+            const MemOp op = w.next(c);
+            if (op.kind == MemOp::Kind::Done)
+                break;
+            if (op.kind == MemOp::Kind::Barrier)
+                ++barriers[c];
+        }
+    }
+    for (CoreId c = 1; c < 8; ++c)
+        EXPECT_EQ(barriers[c], barriers[0]);
+    EXPECT_EQ(barriers[0], 1); // numPhases - 1
+}
+
+TEST(Synthetic, DoneIsSticky)
+{
+    auto cfg = cfg8();
+    auto spec = tinySpec();
+    spec.opsPerPhase = 10;
+    SyntheticWorkload w(spec, cfg);
+    int guard = 0;
+    while (w.next(0).kind != MemOp::Kind::Done && guard < 100000)
+        ++guard;
+    ASSERT_LT(guard, 100000);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(w.next(0).kind, MemOp::Kind::Done);
+}
+
+TEST(Synthetic, LockPairsBalanced)
+{
+    auto cfg = cfg8();
+    auto spec = tinySpec();
+    spec.mix.lockRMW = 0.3;
+    spec.numLocks = 4;
+    spec.csLines = 2;
+    SyntheticWorkload w(spec, cfg);
+    for (CoreId c = 0; c < 8; ++c) {
+        int depth = 0;
+        std::uint32_t held = 0;
+        for (;;) {
+            const MemOp op = w.next(c);
+            if (op.kind == MemOp::Kind::Done)
+                break;
+            if (op.kind == MemOp::Kind::LockAcquire) {
+                EXPECT_EQ(depth, 0);
+                ++depth;
+                held = op.lockId;
+            } else if (op.kind == MemOp::Kind::LockRelease) {
+                EXPECT_EQ(depth, 1);
+                EXPECT_EQ(op.lockId, held);
+                --depth;
+            }
+        }
+        EXPECT_EQ(depth, 0);
+    }
+}
+
+TEST(Synthetic, PrivateRegionsAreDisjointAcrossCores)
+{
+    auto cfg = cfg8();
+    SyntheticWorkload w(tinySpec(), cfg);
+    std::set<Addr> bases;
+    for (CoreId c = 0; c < 8; ++c) {
+        bases.insert(w.privateHotBase(c, 0));
+        bases.insert(w.privateStreamBase(c, 0));
+    }
+    EXPECT_EQ(bases.size(), 16u);
+}
+
+TEST(Synthetic, PhaseShiftSwapsRegions)
+{
+    auto cfg = cfg8();
+    auto spec = tinySpec();
+    spec.phaseShift = true;
+    SyntheticWorkload w(spec, cfg);
+    EXPECT_EQ(w.privateHotBase(2, 0), w.privateStreamBase(2, 1));
+    EXPECT_EQ(w.privateHotBase(2, 1), w.privateStreamBase(2, 0));
+    EXPECT_EQ(w.privateHotBase(2, 0), w.privateHotBase(2, 2));
+}
+
+TEST(Synthetic, BurstUtilizationMatchesSpec)
+{
+    // With a pure privateHot mix and no jitter sources, each burst
+    // should touch one line exactly privateHotUtil times.
+    auto cfg = cfg8();
+    SyntheticSpec spec;
+    spec.name = "burst";
+    spec.numCores = 8;
+    spec.mix.privateHot = 1.0;
+    spec.privateHotUtil = 6;
+    spec.privateWriteFrac = 0.0;
+    spec.computePerMemop = 0;
+    spec.opsPerPhase = 600;
+    spec.numPhases = 1;
+    spec.sharingDegree = 4;
+    SyntheticWorkload w(spec, cfg);
+
+    std::map<LineAddr, int> touches;
+    for (;;) {
+        const MemOp op = w.next(0);
+        if (op.kind == MemOp::Kind::Done)
+            break;
+        ASSERT_EQ(static_cast<int>(op.kind),
+                  static_cast<int>(MemOp::Kind::Read));
+        ++touches[op.addr >> 6];
+    }
+    for (const auto &[line, n] : touches)
+        EXPECT_EQ(n % 6, 0) << "line touched in bursts of 6";
+}
+
+TEST(Suite, Has21Benchmarks)
+{
+    EXPECT_EQ(benchmarkNames().size(), 21u);
+    for (const auto &n : benchmarkNames()) {
+        EXPECT_TRUE(isBenchmark(n)) << n;
+        EXPECT_STRNE(benchmarkProblemSize(n), "?") << n;
+    }
+    EXPECT_FALSE(isBenchmark("nosuchbench"));
+}
+
+TEST(Suite, SpecsConstructOnSmallSystems)
+{
+    auto cfg = cfg8();
+    for (const auto &n : benchmarkNames()) {
+        const auto spec = benchmarkSpec(n, cfg, 0.1);
+        EXPECT_EQ(spec.numCores, 8u) << n;
+        EXPECT_EQ(8u % spec.sharingDegree, 0u) << n;
+        // Must construct without fatal().
+        SyntheticWorkload w(spec, cfg);
+        // And produce some ops.
+        int mem = 0;
+        for (int i = 0; i < 100; ++i) {
+            const auto op = w.next(0);
+            mem += op.kind == MemOp::Kind::Read ||
+                   op.kind == MemOp::Kind::Write;
+            if (op.kind == MemOp::Kind::Done)
+                break;
+        }
+        EXPECT_GT(mem, 0) << n;
+    }
+}
+
+TEST(Suite, SeedsDifferAcrossBenchmarks)
+{
+    auto cfg = cfg8();
+    const auto a = benchmarkSpec("radix", cfg);
+    const auto b = benchmarkSpec("barnes", cfg);
+    EXPECT_NE(a.seed, b.seed);
+}
+
+TEST(Suite, OpScaleMultiplies)
+{
+    auto cfg = cfg8();
+    const auto a = benchmarkSpec("radix", cfg, 1.0);
+    const auto b = benchmarkSpec("radix", cfg, 2.0);
+    EXPECT_EQ(b.opsPerPhase, 2 * a.opsPerPhase);
+}
+
+TEST(Trace, RoundTrip)
+{
+    std::vector<std::vector<MemOp>> streams(2);
+    streams[0] = {MemOp::read(0x1000), MemOp::write(0x1008),
+                  MemOp::compute(5), MemOp::barrier(),
+                  MemOp::lockAcquire(1), MemOp::lockRelease(1)};
+    streams[1] = {MemOp::ifetch(0x2000), MemOp::barrier()};
+    TraceWorkload w("t", streams, 2);
+
+    std::ostringstream os;
+    w.save(os);
+    std::istringstream is(os.str());
+    TraceWorkload r = TraceWorkload::parse(is, "t2");
+
+    ASSERT_EQ(r.numCores(), 2u);
+    EXPECT_EQ(r.numLocks(), 2u);
+    const MemOp op0 = r.next(0);
+    EXPECT_EQ(static_cast<int>(op0.kind),
+              static_cast<int>(MemOp::Kind::Read));
+    EXPECT_EQ(op0.addr, 0x1000u);
+    const MemOp op1 = r.next(0);
+    EXPECT_EQ(static_cast<int>(op1.kind),
+              static_cast<int>(MemOp::Kind::Write));
+    r.next(0); // compute
+    const MemOp op3 = r.next(0);
+    EXPECT_EQ(static_cast<int>(op3.kind),
+              static_cast<int>(MemOp::Kind::Barrier));
+    const MemOp op4 = r.next(0);
+    EXPECT_EQ(op4.lockId, 1u);
+    r.next(0);
+    EXPECT_EQ(static_cast<int>(r.next(0).kind),
+              static_cast<int>(MemOp::Kind::Done));
+    const MemOp f = r.next(1);
+    EXPECT_EQ(static_cast<int>(f.kind),
+              static_cast<int>(MemOp::Kind::IFetch));
+    EXPECT_EQ(f.addr, 0x2000u);
+}
+
+TEST(Trace, ParserSkipsCommentsAndBlanks)
+{
+    std::istringstream is("# hello\n\ntrace 1 0\n0 r ff\n\n# bye\n");
+    TraceWorkload w = TraceWorkload::parse(is, "x");
+    EXPECT_EQ(w.numCores(), 1u);
+    EXPECT_EQ(w.next(0).addr, 0xffu);
+}
+
+TEST(Barrier, ReleasesOnLastArrival)
+{
+    BarrierState b(3);
+    EXPECT_FALSE(b.arrive(0, 100));
+    EXPECT_FALSE(b.arrive(2, 50));
+    EXPECT_TRUE(b.arrive(1, 80));
+    EXPECT_EQ(b.releaseTime(), 100u);
+    ASSERT_EQ(b.waiters().size(), 2u);
+    EXPECT_EQ(b.arrivalOf(0), 100u);
+    EXPECT_EQ(b.arrivalOf(2), 50u);
+    b.resetGeneration();
+    EXPECT_EQ(b.arrivedCount(), 0u);
+    EXPECT_FALSE(b.arrive(1, 10));
+}
+
+TEST(Lock, FifoHandoff)
+{
+    LockState lk;
+    EXPECT_TRUE(lk.tryAcquire(0));
+    EXPECT_FALSE(lk.tryAcquire(1));
+    lk.enqueue(1, 100);
+    EXPECT_FALSE(lk.tryAcquire(2));
+    lk.enqueue(2, 90);
+    EXPECT_EQ(lk.queueLength(), 2u);
+
+    LockState::Waiter w{};
+    EXPECT_TRUE(lk.release(0, w));
+    EXPECT_EQ(w.core, 1);
+    EXPECT_EQ(w.readyAt, 100u);
+    EXPECT_EQ(lk.holder(), 1);
+
+    EXPECT_TRUE(lk.release(1, w));
+    EXPECT_EQ(w.core, 2);
+    EXPECT_TRUE(lk.release(2, w) == false);
+    EXPECT_FALSE(lk.held());
+}
+
+TEST(Workload, LockLinesDisjoint)
+{
+    auto cfg = cfg8();
+    SyntheticWorkload w(tinySpec(), cfg);
+    // Each lock gets its own cache line.
+    std::set<Addr> addrs;
+    for (std::uint32_t i = 0; i < w.numLocks(); ++i)
+        addrs.insert(w.lockAddr(i) >> 6);
+    EXPECT_EQ(addrs.size(), w.numLocks());
+}
+
+} // namespace
+} // namespace lacc
