@@ -142,7 +142,9 @@ class LocalityClassifier
     virtual const CoreLocality *
     peek(const LineClassifierState &state, CoreId core) const = 0;
 
+    /** True under the Adapt1-way ablation: demotion only (§3.7). */
     bool oneWay() const { return oneWay_; }
+    /** The Private Caching Threshold this classifier applies. */
     std::uint32_t pct() const { return pct_; }
 
     /**

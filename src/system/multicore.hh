@@ -65,18 +65,25 @@ class Multicore
     /** Statistics of the last (or in-progress) run. */
     const SystemStats &stats() const { return stats_; }
 
+    /** The configuration this system was built with. */
     const SystemConfig &config() const { return cfg_; }
 
     /** Functional mismatches observed (must be 0 after a run). */
     std::uint64_t functionalErrors() const { return functionalErrors_; }
 
     // ---- Test / inspection hooks --------------------------------------
+    /** Core @p c's tile: its L1s, L2 slice + directory, and clock. */
     Tile &tile(CoreId c) { return *tiles_[c]; }
     const Tile &tile(CoreId c) const { return *tiles_[c]; }
+    /** The 2-D mesh interconnect (link utilization inspection). */
     MeshNetwork &network() { return mesh_; }
+    /** R-NUCA page classification state (first-touch records). */
     const PageTable &pageTable() const { return pageTable_; }
+    /** R-NUCA line-to-home-slice placement policy. */
     const Placement &placement() const { return placement_; }
+    /** The system-wide locality classifier policy object. */
     LocalityClassifier &classifier() { return *classifier_; }
+    /** The DRAM model behind the memory controllers. */
     DramModel &dram() { return dram_; }
 
     /**

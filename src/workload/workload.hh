@@ -41,6 +41,8 @@ struct MemOp
     std::uint32_t count = 1;  //!< Compute: cycles (= instructions)
     std::uint32_t lockId = 0;
 
+    // Factories: the convenient way for generators and tests to emit
+    // a stream (see Kind above for each op's meaning).
     static MemOp read(Addr a) { return {Kind::Read, a, 1, 0}; }
     static MemOp write(Addr a) { return {Kind::Write, a, 1, 0}; }
     static MemOp ifetch(Addr a) { return {Kind::IFetch, a, 1, 0}; }

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Build-harness smoke test: the canary target CI gates on. Constructs
+ * the same small 4-core system the protocol tests use, drives a short
+ * hand-written trace through the full Multicore engine (reads, writes,
+ * sharing, a barrier), and asserts that the headline statistics are
+ * non-zero and functionally clean. If this passes, the library built,
+ * linked, and simulates end-to-end.
+ */
+
+#include <gtest/gtest.h>
+
+#include "system/multicore.hh"
+#include "workload/trace_file.hh"
+
+namespace lacc {
+namespace {
+
+/** Small 4-core system configuration (mirrors test_protocol.cc). */
+SystemConfig
+smallCfg()
+{
+    SystemConfig c;
+    c.numCores = 4;
+    c.meshWidth = 2;
+    c.clusterSize = 2;
+    c.numMemControllers = 2;
+    c.l1iSizeKB = 1;  // 4 sets x 4 ways
+    c.l1iAssoc = 4;
+    c.l1dSizeKB = 2;  // 8 sets x 4 ways
+    c.l1dAssoc = 4;
+    c.l2SizeKB = 16;  // 32 sets x 8 ways
+    c.l2Assoc = 8;
+    c.pct = 4;
+    c.ratMax = 16;
+    c.nRatLevels = 2;
+    c.classifierK = 3;
+    return c;
+}
+
+/**
+ * A short 4-core trace: every core touches a private line a few
+ * times, all cores read one shared line, core 0 writes it (forcing
+ * invalidations), and everyone meets at a barrier.
+ */
+TraceWorkload
+shortTrace()
+{
+    constexpr Addr kShared = Addr{1} << 33;
+    std::vector<std::vector<MemOp>> streams(4);
+    for (std::uint32_t c = 0; c < 4; ++c) {
+        const Addr priv = (Addr{2} << 33) + Addr{c} * 4096;
+        for (int i = 0; i < 6; ++i) {
+            streams[c].push_back(MemOp::read(priv));
+            streams[c].push_back(MemOp::write(priv + 8));
+        }
+        streams[c].push_back(MemOp::read(kShared));
+        streams[c].push_back(MemOp::compute(10));
+        streams[c].push_back(MemOp::barrier());
+        if (c == 0)
+            streams[c].push_back(MemOp::write(kShared));
+        streams[c].push_back(MemOp::read(kShared));
+    }
+    return TraceWorkload("smoke", std::move(streams));
+}
+
+TEST(Smoke, ShortTraceProducesNonZeroStats)
+{
+    Multicore m(smallCfg());
+    auto wl = shortTrace();
+    const SystemStats &st = m.run(wl);
+
+    // The run made forward progress and touched memory.
+    EXPECT_GT(st.completionTime(), 0u);
+    EXPECT_GT(st.protocol.dramFetches, 0u);
+    EXPECT_EQ(st.perCore.size(), 4u);
+
+    // Every core issued accesses and the caches saw traffic.
+    for (std::uint32_t c = 0; c < 4; ++c) {
+        EXPECT_GT(m.tile(c).stats.l1d.accesses(), 0u)
+            << "core " << c << " issued no L1-D accesses";
+    }
+
+    // Functional data movement stayed consistent with the reference
+    // memory (checks are on by default).
+    EXPECT_EQ(m.functionalErrors(), 0u);
+}
+
+TEST(Smoke, RunIsDeterministic)
+{
+    auto runOnce = [] {
+        Multicore m(smallCfg());
+        auto wl = shortTrace();
+        return m.run(wl).completionTime();
+    };
+    EXPECT_EQ(runOnce(), runOnce());
+}
+
+} // namespace
+} // namespace lacc
