@@ -1,86 +1,15 @@
 /**
  * @file
- * Ablation studies for design choices the paper mentions but does not
- * quantify (DESIGN.md experiment index):
- *
- *  1. Complete classifier learning short-cut (§5.3): seed new sharers
- *     from the majority mode of already-seen sharers instead of
- *     starting them private.
- *  2. R-NUCA placement (§3.1): the paper builds on R-NUCA; this
- *     ablation runs the same protocol on a conventional static-NUCA
- *     (all data hash-interleaved) to show how much of the system's
- *     performance comes from placement vs from the adaptive protocol.
- *
- * Both tables report geomean completion time / energy over the suite,
- * normalized to the first row.
+ * Ablation studies (Complete-classifier learning short-cut, R-NUCA vs
+ * static-NUCA placement). Thin shim over the harness experiment
+ * "ablation" (src/harness/experiments.cc); prefer
+ * `lacc_bench --filter ablation`.
  */
 
-#include <iostream>
-#include <vector>
-
-#include "bench_util.hh"
-
-using namespace lacc;
-
-namespace {
-
-void
-runStudy(const std::string &title,
-         const std::vector<std::pair<std::string, SystemConfig>> &pts)
-{
-    const auto &names = benchmarkNames();
-    std::vector<double> ref_t(names.size()), ref_e(names.size());
-    Table t({"Variant", "Completion Time", "Energy"});
-    for (std::size_t pi = 0; pi < pts.size(); ++pi) {
-        bench::note(title + ": " + pts[pi].first);
-        std::vector<double> times, energies;
-        for (std::size_t bi = 0; bi < names.size(); ++bi) {
-            const auto r = runBenchmark(names[bi], pts[pi].second);
-            const double time = static_cast<double>(r.completionTime);
-            const double energy = r.energyTotal;
-            if (pi == 0) {
-                ref_t[bi] = time > 0 ? time : 1.0;
-                ref_e[bi] = energy > 0 ? energy : 1.0;
-            }
-            times.push_back(time / ref_t[bi]);
-            energies.push_back(energy / ref_e[bi]);
-        }
-        t.addRow({pts[pi].first, fmt(geomean(times), 3),
-                  fmt(geomean(energies), 3)});
-    }
-    std::cout << "\n" << title << "\n";
-    t.print(std::cout);
-}
-
-} // namespace
+#include "harness/sink.hh"
 
 int
 main()
 {
-    setVerbose(false);
-    bench::banner("Ablations: learning short-cut & R-NUCA placement",
-                  "Geomeans over the 21-benchmark suite, normalized to"
-                  " the first row of each table");
-
-    {
-        SystemConfig base = defaultConfig();
-        base.classifierKind = ClassifierKind::Complete;
-        SystemConfig shortcut = base;
-        shortcut.completeLearningShortcut = true;
-        runStudy("Complete classifier: per-sharer learning vs"
-                 " majority-vote seeding (§5.3 extension)",
-                 {{"Complete (paper)", base},
-                  {"Complete + learning short-cut", shortcut}});
-    }
-    {
-        SystemConfig rnuca = defaultConfig();
-        SystemConfig snuca = defaultConfig();
-        snuca.rnucaEnabled = false;
-        runStudy("Placement: R-NUCA (paper baseline) vs static-NUCA",
-                 {{"R-NUCA", rnuca}, {"Static-NUCA (hash only)", snuca}});
-    }
-    std::cout << "\nExpected: the short-cut helps sharing-heavy"
-                 " benchmarks slightly; static-NUCA pays remote-slice"
-                 " latency for private data\n";
-    return 0;
+    return lacc::harness::runLegacyMain("ablation");
 }

@@ -1,56 +1,14 @@
 /**
  * @file
- * Section 5 baseline validation: the paper reports that baseline
- * ACKwise_4 performs within 1% (performance and energy) of a full-map
- * directory, which justifies using ACKwise_4 as the baseline
- * everywhere. This bench reproduces that comparison on the
- * conventional directory protocol (PCT = 1).
+ * Section 5 baseline validation: ACKwise_4 vs full-map directory.
+ * Thin shim over the harness experiment "ackwise"
+ * (src/harness/experiments.cc); prefer `lacc_bench --filter ackwise`.
  */
 
-#include <cmath>
-#include <iostream>
-#include <vector>
-
-#include "bench_util.hh"
-
-using namespace lacc;
+#include "harness/sink.hh"
 
 int
 main()
 {
-    setVerbose(false);
-    bench::banner("ACKwise4 vs Full-Map directory (baseline protocol)",
-                  "Ratios ACKwise/FullMap; paper: within 1% on average");
-
-    const auto &names = benchmarkNames();
-    Table t({"Benchmark", "Completion Time ratio", "Energy ratio",
-             "Broadcasts"});
-    std::vector<double> rt, re;
-    for (const auto &name : names) {
-        bench::note("ackwise " + name);
-        SystemConfig ack = bench::baselineConfig();
-        SystemConfig fm = bench::baselineConfig();
-        fm.directoryKind = DirectoryKind::FullMap;
-        const auto ra = runBenchmark(name, ack);
-        const auto rf = runBenchmark(name, fm);
-        const double time_ratio =
-            static_cast<double>(ra.completionTime) /
-            static_cast<double>(rf.completionTime > 0 ? rf.completionTime
-                                                      : 1);
-        const double energy_ratio =
-            ra.energyTotal / (rf.energyTotal > 0 ? rf.energyTotal : 1.0);
-        rt.push_back(time_ratio);
-        re.push_back(energy_ratio);
-        t.addRow({name, fmt(time_ratio, 4), fmt(energy_ratio, 4),
-                  std::to_string(ra.stats.protocol.broadcastInvals)});
-    }
-    const double gm_t = geomean(rt);
-    const double gm_e = geomean(re);
-    t.addRow({"GEOMEAN", fmt(gm_t, 4), fmt(gm_e, 4), "-"});
-    t.print(std::cout);
-    std::cout << "\nDeviation from full-map: completion "
-              << fmt(std::abs(gm_t - 1.0) * 100, 2) << "%, energy "
-              << fmt(std::abs(gm_e - 1.0) * 100, 2)
-              << "% (paper: within 1%)\n";
-    return 0;
+    return lacc::harness::runLegacyMain("ackwise");
 }

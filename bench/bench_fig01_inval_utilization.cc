@@ -1,45 +1,15 @@
 /**
  * @file
- * Figure 1 reproduction: breakdown of *invalidated* L1 cache lines by
- * the utilization they had accrued when invalidated, measured on the
- * baseline system (conventional directory protocol, PCT = 1), using
- * the paper's buckets {1, 2-3, 4-5, 6-7, >= 8}.
- *
- * Paper's motivating observation: a large fraction of invalidated
- * lines have low utilization (e.g. streamcluster: ~80% below 4), so
- * private caching of such data only buys invalidation cost.
+ * Figure 1 reproduction: invalidated-line utilization histogram.
+ * Thin shim over the harness experiment "fig01"
+ * (src/harness/experiments.cc); prefer `lacc_bench --filter fig01`,
+ * which can also run in parallel and emit JSON.
  */
 
-#include <iostream>
-
-#include "bench_util.hh"
-
-using namespace lacc;
+#include "harness/sink.hh"
 
 int
 main()
 {
-    setVerbose(false);
-    bench::banner("Figure 1: Invalidations vs Utilization",
-                  "Baseline directory protocol; % of invalidated lines"
-                  " per utilization bucket");
-
-    Table t({"Benchmark", "1", "2-3", "4-5", "6-7", ">=8", "total",
-             "<4 (frac)"});
-    for (const auto &name : benchmarkNames()) {
-        bench::note("fig1 " + name);
-        const auto r = runBenchmark(name, bench::baselineConfig());
-        const auto &h = r.stats.invalidationUtil;
-        t.addRow({name, fmtPct(h.bucketFraction(0)),
-                  fmtPct(h.bucketFraction(1)),
-                  fmtPct(h.bucketFraction(2)),
-                  fmtPct(h.bucketFraction(3)),
-                  fmtPct(h.bucketFraction(4)),
-                  std::to_string(h.total()),
-                  fmt(h.fractionBelow(4), 2)});
-    }
-    t.print(std::cout);
-    std::cout << "\nShape check: low-utilization buckets dominate for"
-                 " streaming/sharing-heavy benchmarks\n";
-    return 0;
+    return lacc::harness::runLegacyMain("fig01");
 }

@@ -1,40 +1,14 @@
 /**
  * @file
- * Figure 2 reproduction: breakdown of *evicted* L1 cache lines by the
- * utilization they had accrued when evicted (baseline system, paper
- * buckets {1, 2-3, 4-5, 6-7, >= 8}).
+ * Figure 2 reproduction: evicted-line utilization histogram.
+ * Thin shim over the harness experiment "fig02"
+ * (src/harness/experiments.cc); prefer `lacc_bench --filter fig02`.
  */
 
-#include <iostream>
-
-#include "bench_util.hh"
-
-using namespace lacc;
+#include "harness/sink.hh"
 
 int
 main()
 {
-    setVerbose(false);
-    bench::banner("Figure 2: Evictions vs Utilization",
-                  "Baseline directory protocol; % of evicted lines per"
-                  " utilization bucket");
-
-    Table t({"Benchmark", "1", "2-3", "4-5", "6-7", ">=8", "total",
-             "<4 (frac)"});
-    for (const auto &name : benchmarkNames()) {
-        bench::note("fig2 " + name);
-        const auto r = runBenchmark(name, bench::baselineConfig());
-        const auto &h = r.stats.evictionUtil;
-        t.addRow({name, fmtPct(h.bucketFraction(0)),
-                  fmtPct(h.bucketFraction(1)),
-                  fmtPct(h.bucketFraction(2)),
-                  fmtPct(h.bucketFraction(3)),
-                  fmtPct(h.bucketFraction(4)),
-                  std::to_string(h.total()),
-                  fmt(h.fractionBelow(4), 2)});
-    }
-    t.print(std::cout);
-    std::cout << "\nShape check: streaming benchmarks evict mostly"
-                 " low-utilization lines\n";
-    return 0;
+    return lacc::harness::runLegacyMain("fig02");
 }

@@ -1,71 +1,14 @@
 /**
  * @file
- * Figure 8 reproduction: dynamic energy breakdown (L1-I, L1-D, L2,
- * Directory, Router, Link) as PCT sweeps 1..8, normalized per
- * benchmark to PCT = 1, plus the cross-benchmark Average (the paper
- * plots Average, not geomean, for this figure).
+ * Figure 8 reproduction: energy breakdown vs PCT. Thin shim over the
+ * harness experiment "fig08" (src/harness/experiments.cc); prefer
+ * `lacc_bench --filter fig08`.
  */
 
-#include <iostream>
-#include <vector>
-
-#include "bench_util.hh"
-
-using namespace lacc;
+#include "harness/sink.hh"
 
 int
 main()
 {
-    setVerbose(false);
-    bench::banner("Figure 8: Energy breakdown vs PCT (normalized to"
-                  " PCT=1)",
-                  "Components: L1-I / L1-D / L2 / Directory / Router /"
-                  " Link");
-
-    const std::vector<std::uint32_t> pcts = {1, 2, 3, 4, 5, 6, 7, 8};
-    const auto &names = benchmarkNames();
-
-    // avg[p][component] accumulates normalized components.
-    std::vector<std::vector<double>> avg(pcts.size(),
-                                         std::vector<double>(6, 0.0));
-
-    Table t({"Benchmark", "PCT", "L1-I", "L1-D", "L2", "Dir", "Router",
-             "Link", "Total"});
-    for (const auto &name : names) {
-        bench::note("fig8 " + name);
-        double base_total = 0.0;
-        for (std::size_t pi = 0; pi < pcts.size(); ++pi) {
-            const auto r = runBenchmark(name, bench::pctConfig(pcts[pi]));
-            const auto v = bench::energyVector(r.stats);
-            double total = 0.0;
-            for (const double c : v)
-                total += c;
-            if (pi == 0)
-                base_total = total > 0 ? total : 1.0;
-            std::vector<std::string> row = {name,
-                                            std::to_string(pcts[pi])};
-            for (std::size_t i = 0; i < v.size(); ++i) {
-                const double n = v[i] / base_total;
-                avg[pi][i] += n / static_cast<double>(names.size());
-                row.push_back(fmt(n, 3));
-            }
-            row.push_back(fmt(total / base_total, 3));
-            t.addRow(std::move(row));
-        }
-    }
-    for (std::size_t pi = 0; pi < pcts.size(); ++pi) {
-        std::vector<std::string> row = {"AVERAGE",
-                                        std::to_string(pcts[pi])};
-        double total = 0.0;
-        for (const double c : avg[pi]) {
-            row.push_back(fmt(c, 3));
-            total += c;
-        }
-        row.push_back(fmt(total, 3));
-        t.addRow(std::move(row));
-    }
-    t.print(std::cout);
-    std::cout << "\nShape check (paper): average energy falls ~25% by"
-                 " PCT 4; links dominate routers at 11nm\n";
-    return 0;
+    return lacc::harness::runLegacyMain("fig08");
 }

@@ -1,53 +1,14 @@
 /**
  * @file
- * Figure 10 reproduction: L1-D cache miss rate and miss-type
- * breakdown (Cold / Capacity / Upgrade / Sharing / Word) as PCT
- * sweeps over {1, 2, 3, 4, 6, 8}.
- *
- * Shape checks from the paper: capacity misses convert into word
- * misses (blackscholes, bodytrack, concomp); sharing misses convert
- * into word misses (streamcluster, dijkstra-ss); several benchmarks
- * see the overall miss rate *drop* at PCT 2 because pollution from
- * low-locality lines disappears (blackscholes, dijkstra-ap, matmul).
+ * Figure 10 reproduction: L1-D miss-rate taxonomy vs PCT. Thin shim
+ * over the harness experiment "fig10" (src/harness/experiments.cc);
+ * prefer `lacc_bench --filter fig10`.
  */
 
-#include <iostream>
-#include <vector>
-
-#include "bench_util.hh"
-
-using namespace lacc;
+#include "harness/sink.hh"
 
 int
 main()
 {
-    setVerbose(false);
-    bench::banner("Figure 10: L1-D miss rate breakdown vs PCT",
-                  "Miss rate % split into Cold/Capacity/Upgrade/"
-                  "Sharing/Word");
-
-    const std::vector<std::uint32_t> pcts = {1, 2, 3, 4, 6, 8};
-    Table t({"Benchmark", "PCT", "Miss%", "Cold%", "Cap%", "Upg%",
-             "Shar%", "Word%"});
-    for (const auto &name : benchmarkNames()) {
-        bench::note("fig10 " + name);
-        for (const auto pct : pcts) {
-            const auto r = runBenchmark(name, bench::pctConfig(pct));
-            const auto m = r.stats.totalMisses();
-            const double acc =
-                static_cast<double>(r.stats.totalL1dAccesses());
-            auto pc = [&](MissType ty) {
-                return fmt(100.0 * static_cast<double>(m.get(ty)) /
-                               (acc > 0 ? acc : 1),
-                           2);
-            };
-            t.addRow({name, std::to_string(pct),
-                      fmt(100.0 * r.stats.l1dMissRate(), 2),
-                      pc(MissType::Cold), pc(MissType::Capacity),
-                      pc(MissType::Upgrade), pc(MissType::Sharing),
-                      pc(MissType::Word)});
-        }
-    }
-    t.print(std::cout);
-    return 0;
+    return lacc::harness::runLegacyMain("fig10");
 }

@@ -1,70 +1,14 @@
 /**
  * @file
- * Figure 11 reproduction: geometric means of Completion Time and
- * Energy across all 21 benchmarks as PCT sweeps over
- * {1..8, 10, 12, 14, 16, 18, 20}, normalized to PCT = 1.
- *
- * Paper shape: completion time falls to ~0.85 around PCT 3-4 then
- * rises; energy falls to ~0.75 by PCT 4-5, stays flat to ~8, then
- * rises. The paper selects the static PCT = 4 from this plot.
+ * Figure 11 reproduction: geomean completion time & energy vs PCT.
+ * Thin shim over the harness experiment "fig11"
+ * (src/harness/experiments.cc); prefer `lacc_bench --filter fig11`.
  */
 
-#include <iostream>
-#include <vector>
-
-#include "bench_util.hh"
-
-using namespace lacc;
+#include "harness/sink.hh"
 
 int
 main()
 {
-    setVerbose(false);
-    bench::banner("Figure 11: Geomean Completion Time & Energy vs PCT",
-                  "Normalized to PCT=1 across all 21 benchmarks");
-
-    const std::vector<std::uint32_t> pcts = {1, 2,  3,  4,  5,  6,  7,
-                                             8, 10, 12, 14, 16, 18, 20};
-    const auto &names = benchmarkNames();
-
-    // base[benchmark] = (completion, energy) at PCT 1.
-    std::vector<double> base_time(names.size()), base_energy(names.size());
-
-    Table t({"PCT", "Completion Time (geomean)", "Energy (geomean)"});
-    std::vector<std::string> best_row;
-    double best_time = 1e300;
-    for (std::size_t pi = 0; pi < pcts.size(); ++pi) {
-        std::vector<double> times, energies;
-        bench::note("fig11 PCT=" + std::to_string(pcts[pi]));
-        for (std::size_t bi = 0; bi < names.size(); ++bi) {
-            const auto r =
-                runBenchmark(names[bi], bench::pctConfig(pcts[pi]));
-            const double time =
-                static_cast<double>(r.completionTime);
-            const double energy = r.energyTotal;
-            if (pi == 0) {
-                base_time[bi] = time > 0 ? time : 1.0;
-                base_energy[bi] = energy > 0 ? energy : 1.0;
-            }
-            times.push_back(time / base_time[bi]);
-            energies.push_back(energy / base_energy[bi]);
-        }
-        const double gm_t = geomean(times);
-        const double gm_e = geomean(energies);
-        t.addRow({std::to_string(pcts[pi]), fmt(gm_t, 3), fmt(gm_e, 3)});
-        if (gm_t < best_time) {
-            best_time = gm_t;
-            best_row = {std::to_string(pcts[pi]), fmt(gm_t, 3),
-                        fmt(gm_e, 3)};
-        }
-    }
-    t.print(std::cout);
-    if (!best_row.empty()) {
-        std::cout << "\nBest completion time at PCT " << best_row[0]
-                  << " (time " << best_row[1] << ", energy "
-                  << best_row[2] << ")\n";
-    }
-    std::cout << "Paper: PCT 4 gives ~0.85 completion time and ~0.75"
-                 " energy\n";
-    return 0;
+    return lacc::harness::runLegacyMain("fig11");
 }

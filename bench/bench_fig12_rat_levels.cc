@@ -1,84 +1,14 @@
 /**
  * @file
- * Figure 12 reproduction: sensitivity of the RAT approximation to the
- * idealized Timestamp-based classification (§3.3, §5.2). Compares,
- * at PCT = 4 with the Complete locality tracker:
- *
- *   Timestamp       (reference, 64-bit last-access timestamps)
- *   L-1             (single RAT level: RAT fixed at PCT)
- *   L-2, T-8        (2 levels, RATmax 8)
- *   L-2, T-16       (2 levels, RATmax 16)    <- paper's choice
- *   L-4, T-8 / L-4, T-16 / L-8, T-16
- *
- * Paper shape: completion time roughly flat; single-level costs ~9%
- * energy; multiple levels recover it; RATmax 16 slightly (~2%) better
- * than 8; no difference between 2/4/8 levels at RATmax 16.
+ * Figure 12 reproduction: RAT level/threshold sensitivity. Thin shim
+ * over the harness experiment "fig12" (src/harness/experiments.cc);
+ * prefer `lacc_bench --filter fig12`.
  */
 
-#include <iostream>
-#include <vector>
-
-#include "bench_util.hh"
-
-using namespace lacc;
-
-namespace {
-
-struct RatPoint
-{
-    const char *label;
-    bool timestamp;
-    std::uint32_t levels;
-    std::uint32_t ratMax;
-};
-
-} // namespace
+#include "harness/sink.hh"
 
 int
 main()
 {
-    setVerbose(false);
-    bench::banner("Figure 12: Remote Access Threshold sensitivity",
-                  "Geomean completion time & energy normalized to the"
-                  " Timestamp classifier (PCT=4, Complete tracking)");
-
-    const std::vector<RatPoint> points = {
-        {"Timestamp", true, 0, 0},   {"L-1", false, 1, 16},
-        {"L-2,T-8", false, 2, 8},    {"L-2,T-16", false, 2, 16},
-        {"L-4,T-8", false, 4, 8},    {"L-4,T-16", false, 4, 16},
-        {"L-8,T-16", false, 8, 16},
-    };
-    const auto &names = benchmarkNames();
-
-    std::vector<double> ref_time(names.size()), ref_energy(names.size());
-    Table t({"Scheme", "Completion Time", "Energy"});
-    for (std::size_t pi = 0; pi < points.size(); ++pi) {
-        const auto &p = points[pi];
-        bench::note(std::string("fig12 ") + p.label);
-        SystemConfig cfg = defaultConfig();
-        cfg.classifierKind = p.timestamp ? ClassifierKind::Timestamp
-                                         : ClassifierKind::Complete;
-        if (!p.timestamp) {
-            cfg.nRatLevels = p.levels;
-            cfg.ratMax = p.ratMax;
-        }
-        std::vector<double> times, energies;
-        for (std::size_t bi = 0; bi < names.size(); ++bi) {
-            const auto r = runBenchmark(names[bi], cfg);
-            const double time = static_cast<double>(r.completionTime);
-            const double energy = r.energyTotal;
-            if (pi == 0) {
-                ref_time[bi] = time > 0 ? time : 1.0;
-                ref_energy[bi] = energy > 0 ? energy : 1.0;
-            }
-            times.push_back(time / ref_time[bi]);
-            energies.push_back(energy / ref_energy[bi]);
-        }
-        t.addRow({p.label, fmt(geomean(times), 3),
-                  fmt(geomean(energies), 3)});
-    }
-    t.print(std::cout);
-    std::cout << "\nPaper: L-1 costs ~9% energy; L-2,T-16 matches the"
-                 " Timestamp scheme; extra levels add nothing\n";
-    return 0;
+    return lacc::harness::runLegacyMain("fig12");
 }

@@ -1,79 +1,14 @@
 /**
  * @file
- * Figure 13 reproduction: accuracy of the Limited_k classifier as k
- * sweeps over {1, 3, 5, 7, 64}, per benchmark, normalized to the
- * Complete classifier (k = 64), at the best static PCT = 4.
- *
- * Paper shape: Limited_3 within ~3% of Complete everywhere (sometimes
- * better: it seeds new sharers from the majority mode, skipping the
- * per-sharer learning phase in streamcluster / dijkstra-ss);
- * Limited_1 is hurt by mis-seeding on radix (first sharer remote) and
- * bodytrack (first sharer private).
+ * Figure 13 reproduction: Limited_k classifier accuracy. Thin shim
+ * over the harness experiment "fig13" (src/harness/experiments.cc);
+ * prefer `lacc_bench --filter fig13`.
  */
 
-#include <iostream>
-#include <vector>
-
-#include "bench_util.hh"
-
-using namespace lacc;
+#include "harness/sink.hh"
 
 int
 main()
 {
-    setVerbose(false);
-    bench::banner("Figure 13: Limited_k classifier accuracy",
-                  "Completion time & energy normalized to the Complete"
-                  " classifier (PCT=4)");
-
-    const std::vector<std::uint32_t> ks = {1, 3, 5, 7};
-    const auto &names = benchmarkNames();
-
-    // Reference: Complete classifier.
-    std::vector<double> ref_time(names.size()), ref_energy(names.size());
-    {
-        SystemConfig cfg = defaultConfig();
-        cfg.classifierKind = ClassifierKind::Complete;
-        for (std::size_t bi = 0; bi < names.size(); ++bi) {
-            bench::note("fig13 Complete " + names[bi]);
-            const auto r = runBenchmark(names[bi], cfg);
-            ref_time[bi] = r.completionTime > 0
-                               ? static_cast<double>(r.completionTime)
-                               : 1.0;
-            ref_energy[bi] = r.energyTotal > 0 ? r.energyTotal : 1.0;
-        }
-    }
-
-    Table t({"Benchmark", "k", "Completion Time", "Energy"});
-    std::vector<std::vector<double>> gm_t(ks.size()), gm_e(ks.size());
-    for (std::size_t ki = 0; ki < ks.size(); ++ki) {
-        SystemConfig cfg = defaultConfig();
-        cfg.classifierKind = ClassifierKind::Limited;
-        cfg.classifierK = ks[ki];
-        bench::note("fig13 k=" + std::to_string(ks[ki]));
-        for (std::size_t bi = 0; bi < names.size(); ++bi) {
-            const auto r = runBenchmark(names[bi], cfg);
-            const double nt =
-                static_cast<double>(r.completionTime) / ref_time[bi];
-            const double ne = r.energyTotal / ref_energy[bi];
-            gm_t[ki].push_back(nt);
-            gm_e[ki].push_back(ne);
-            t.addRow({names[bi], std::to_string(ks[ki]), fmt(nt, 3),
-                      fmt(ne, 3)});
-        }
-    }
-    for (std::size_t bi = 0; bi < names.size(); ++bi)
-        t.addRow({names[bi], "64(Complete)", "1.000", "1.000"});
-    t.print(std::cout);
-
-    std::cout << "\nGeomeans vs Complete:\n";
-    Table g({"k", "Completion Time", "Energy"});
-    for (std::size_t ki = 0; ki < ks.size(); ++ki)
-        g.addRow({std::to_string(ks[ki]), fmt(geomean(gm_t[ki]), 3),
-                  fmt(geomean(gm_e[ki]), 3)});
-    g.addRow({"64", "1.000", "1.000"});
-    g.print(std::cout);
-    std::cout << "\nPaper: Limited_3 within ~3% of Complete; Limited_1"
-                 " suffers on radix/bodytrack\n";
-    return 0;
+    return lacc::harness::runLegacyMain("fig13");
 }

@@ -1,51 +1,14 @@
 /**
  * @file
- * Figure 14 reproduction: cost of removing remote->private
- * re-promotion. Ratio of Adapt1-way (demote-only, §3.7) over
- * Adapt2-way (the full protocol), per benchmark, at PCT = 4.
- *
- * Paper shape: Adapt1-way is on average ~34% worse in completion time
- * and ~13% worse in energy, with blow-ups on bodytrack (~3.3x) and
- * dijkstra-ss (~2.3x).
+ * Figure 14 reproduction: Adapt1-way / Adapt2-way ratios. Thin shim
+ * over the harness experiment "fig14" (src/harness/experiments.cc);
+ * prefer `lacc_bench --filter fig14`.
  */
 
-#include <iostream>
-#include <vector>
-
-#include "bench_util.hh"
-
-using namespace lacc;
+#include "harness/sink.hh"
 
 int
 main()
 {
-    setVerbose(false);
-    bench::banner("Figure 14: Adapt1-way / Adapt2-way ratios",
-                  "PCT=4; >1 means one-way transitions are worse");
-
-    const auto &names = benchmarkNames();
-    Table t({"Benchmark", "Completion Time ratio", "Energy ratio"});
-    std::vector<double> rt, re;
-    for (const auto &name : names) {
-        bench::note("fig14 " + name);
-        SystemConfig cfg2 = defaultConfig();
-        SystemConfig cfg1 = defaultConfig();
-        cfg1.protocolKind = ProtocolKind::AdaptOneWay;
-        const auto r2 = runBenchmark(name, cfg2);
-        const auto r1 = runBenchmark(name, cfg1);
-        const double time_ratio =
-            static_cast<double>(r1.completionTime) /
-            static_cast<double>(r2.completionTime > 0 ? r2.completionTime
-                                                      : 1);
-        const double energy_ratio =
-            r1.energyTotal / (r2.energyTotal > 0 ? r2.energyTotal : 1.0);
-        rt.push_back(time_ratio);
-        re.push_back(energy_ratio);
-        t.addRow({name, fmt(time_ratio, 3), fmt(energy_ratio, 3)});
-    }
-    t.addRow({"GEOMEAN", fmt(geomean(rt), 3), fmt(geomean(re), 3)});
-    t.print(std::cout);
-    std::cout << "\nPaper: average ~1.34x completion time / ~1.13x"
-                 " energy; bodytrack ~3.3x, dijkstra-ss ~2.3x\n";
-    return 0;
+    return lacc::harness::runLegacyMain("fig14");
 }

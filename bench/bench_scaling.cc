@@ -1,89 +1,14 @@
 /**
  * @file
- * Extension experiment: how the locality-aware protocol's benefit
- * scales with core count (16 / 32 / 64 cores).
- *
- * The paper's motivation (§1) is that data movement gets more
- * expensive as core counts grow — mesh diameter, invalidation fan-out
- * and directory pressure all increase — so the protocol's advantage
- * over the baseline should widen with the machine. This bench runs
- * the whole suite at PCT 4 vs the always-private baseline for three
- * machine sizes and reports the geomean improvement per size.
+ * Extension experiment: protocol benefit vs core count (16/32/64).
+ * Thin shim over the harness experiment "scaling"
+ * (src/harness/experiments.cc); prefer `lacc_bench --filter scaling`.
  */
 
-#include <iostream>
-#include <vector>
-
-#include "bench_util.hh"
-
-using namespace lacc;
-
-namespace {
-
-SystemConfig
-sized(std::uint32_t cores, std::uint32_t width, bool adaptive)
-{
-    SystemConfig cfg = defaultConfig();
-    cfg.numCores = cores;
-    cfg.meshWidth = width;
-    cfg.numMemControllers = 8;
-    if (!adaptive) {
-        cfg.classifierKind = ClassifierKind::AlwaysPrivate;
-        cfg.pct = 1;
-    }
-    return cfg;
-}
-
-} // namespace
+#include "harness/sink.hh"
 
 int
 main()
 {
-    setVerbose(false);
-    bench::banner("Scaling: adaptive (PCT=4) vs baseline by core count",
-                  "Geomean over the suite; lower is better for the"
-                  " adaptive/baseline ratios");
-
-    struct Size
-    {
-        std::uint32_t cores, width;
-    };
-    const std::vector<Size> sizes = {{16, 4}, {32, 8}, {64, 8}};
-    const auto &names = benchmarkNames();
-
-    Table t({"Cores", "Completion ratio", "Energy ratio",
-             "Baseline flit-hops/access", "Adaptive flit-hops/access"});
-    for (const auto &sz : sizes) {
-        bench::note("scaling " + std::to_string(sz.cores) + " cores");
-        std::vector<double> times, energies;
-        double base_hops = 0, adapt_hops = 0;
-        for (const auto &name : names) {
-            const auto rb =
-                runBenchmark(name, sized(sz.cores, sz.width, false));
-            const auto ra =
-                runBenchmark(name, sized(sz.cores, sz.width, true));
-            times.push_back(static_cast<double>(ra.completionTime) /
-                            static_cast<double>(rb.completionTime > 0
-                                                    ? rb.completionTime
-                                                    : 1));
-            energies.push_back(ra.energyTotal /
-                               (rb.energyTotal > 0 ? rb.energyTotal
-                                                   : 1.0));
-            base_hops += static_cast<double>(rb.stats.network.flitHops) /
-                         static_cast<double>(rb.stats.totalL1dAccesses() +
-                                             1);
-            adapt_hops += static_cast<double>(ra.stats.network.flitHops) /
-                          static_cast<double>(ra.stats.totalL1dAccesses() +
-                                              1);
-        }
-        t.addRow({std::to_string(sz.cores), fmt(geomean(times), 3),
-                  fmt(geomean(energies), 3),
-                  fmt(base_hops / static_cast<double>(names.size()), 2),
-                  fmt(adapt_hops / static_cast<double>(names.size()),
-                      2)});
-    }
-    t.print(std::cout);
-    std::cout << "\nExpected: the adaptive/baseline ratio falls (bigger"
-                 " win) as the machine grows\n";
-    return 0;
+    return lacc::harness::runLegacyMain("scaling");
 }

@@ -1,102 +1,15 @@
 /**
  * @file
- * Table 1 reproduction: prints the default architectural parameters
- * and the Section 3.6 storage-overhead arithmetic (18 KB per core for
- * Limited_3, ACKwise_4 12 KB vs full-map 32 KB, the 5.7% / 60%
- * overheads, and the "less storage than full-map" headline claim).
+ * Table 1 reproduction: architectural parameters and the Section 3.6
+ * storage-overhead arithmetic. Thin shim over the harness experiment
+ * "table1" (src/harness/experiments.cc); prefer
+ * `lacc_bench --filter table1`.
  */
 
-#include <iostream>
-
-#include "bench_util.hh"
-#include "core/storage_model.hh"
-
-using namespace lacc;
+#include "harness/sink.hh"
 
 int
 main()
 {
-    setVerbose(false);
-    const SystemConfig cfg = defaultConfig();
-    bench::banner("Table 1: Architectural parameters",
-                  "Default configuration used by every experiment");
-
-    Table t({"Parameter", "Value"});
-    t.addRow({"Number of cores", std::to_string(cfg.numCores) + " @ 1 GHz"});
-    t.addRow({"Compute pipeline", "In-order, single-issue"});
-    t.addRow({"Physical address length", "48 bits"});
-    t.addRow({"L1-I cache per core",
-              std::to_string(cfg.l1iSizeKB) + " KB, " +
-                  std::to_string(cfg.l1iAssoc) + "-way, " +
-                  std::to_string(cfg.l1Latency) + " cycle"});
-    t.addRow({"L1-D cache per core",
-              std::to_string(cfg.l1dSizeKB) + " KB, " +
-                  std::to_string(cfg.l1dAssoc) + "-way, " +
-                  std::to_string(cfg.l1Latency) + " cycle"});
-    t.addRow({"L2 cache per core",
-              std::to_string(cfg.l2SizeKB) + " KB, " +
-                  std::to_string(cfg.l2Assoc) + "-way, " +
-                  std::to_string(cfg.l2Latency) + " cycle, inclusive,"
-                  " R-NUCA"});
-    t.addRow({"Cache line size", std::to_string(cfg.lineSize) + " bytes"});
-    t.addRow({"Directory protocol",
-              std::string("Invalidation-based MESI, ACKwise") +
-                  std::to_string(cfg.ackwisePointers)});
-    t.addRow({"Memory controllers",
-              std::to_string(cfg.numMemControllers)});
-    t.addRow({"DRAM bandwidth",
-              fmt(cfg.dramBandwidthGBps, 1) + " GBps per controller"});
-    t.addRow({"DRAM latency", std::to_string(cfg.dramLatency) + " ns"});
-    t.addRow({"Network", "Electrical 2-D mesh, XY routing"});
-    t.addRow({"Hop latency",
-              std::to_string(cfg.hopLatency) + " cycles (1 router,"
-              " 1 link)"});
-    t.addRow({"Flit width", std::to_string(cfg.flitWidthBits) + " bits"});
-    t.addRow({"Header", std::to_string(cfg.headerFlits) + " flit"});
-    t.addRow({"Word length", std::to_string(cfg.wordFlits) + " flit"});
-    t.addRow({"Cache line length",
-              std::to_string(cfg.lineFlits) + " flits"});
-    t.addRow({"PCT", std::to_string(cfg.pct)});
-    t.addRow({"RATmax", std::to_string(cfg.ratMax)});
-    t.addRow({"nRATlevels", std::to_string(cfg.nRatLevels)});
-    t.addRow({"Classifier",
-              std::string("Limited") + std::to_string(cfg.classifierK)});
-    t.print(std::cout);
-
-    std::cout << "\nSection 3.6: storage overhead per core\n\n";
-    StorageModel m(cfg);
-    Table s({"Structure", "Bits/entry", "KB/core", "Paper"});
-    s.addRow({"L1 utilization bits",
-              std::to_string(m.l1UtilBitsPerLine()) + " /line",
-              fmt(m.l1OverheadKB(), 4), "0.19 KB"});
-    s.addRow({"Limited3 classifier",
-              std::to_string(m.limitedBitsPerEntry()),
-              fmt(m.limitedOverheadKB(), 1), "18 KB"});
-    s.addRow({"Complete classifier",
-              std::to_string(m.completeBitsPerEntry()),
-              fmt(m.completeOverheadKB(), 1), "192 KB"});
-    s.addRow({"ACKwise4 pointers",
-              std::to_string(m.ackwiseBitsPerEntry()),
-              fmt(m.ackwiseKB(), 1), "12 KB"});
-    s.addRow({"Full-map directory",
-              std::to_string(m.fullMapBitsPerEntry()),
-              fmt(m.fullMapKB(), 1), "32 KB"});
-    s.print(std::cout);
-
-    std::cout << "\nOverhead vs baseline ACKwise4 (incl. caches):\n"
-              << "  Limited3 classifier: "
-              << fmt(m.overheadPercentVsAckwise(false), 2)
-              << "%   (paper: 5.7%)\n"
-              << "  Complete classifier: "
-              << fmt(m.overheadPercentVsAckwise(true), 2)
-              << "%   (paper: 60%)\n"
-              << "  Limited3 + ACKwise4 = "
-              << fmt(m.limitedOverheadKB() + m.ackwiseKB(), 1)
-              << " KB < full-map " << fmt(m.fullMapKB(), 1)
-              << " KB: " << (m.limitedOverheadKB() + m.ackwiseKB() <
-                                     m.fullMapKB()
-                                 ? "HOLDS"
-                                 : "VIOLATED")
-              << "\n";
-    return 0;
+    return lacc::harness::runLegacyMain("table1");
 }

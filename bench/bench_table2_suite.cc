@@ -1,70 +1,14 @@
 /**
  * @file
- * Table 2 reproduction: the 21 parallel benchmarks with the paper's
- * problem sizes and the synthetic substitution each one maps to
- * (archetype mix + scaled working sets; see DESIGN.md §4).
+ * Table 2 reproduction: the 21 parallel benchmarks and their synthetic
+ * substitutions. Thin shim over the harness experiment "table2"
+ * (src/harness/experiments.cc); prefer `lacc_bench --filter table2`.
  */
 
-#include <iostream>
-
-#include "bench_util.hh"
-
-using namespace lacc;
-
-namespace {
-
-std::string
-mixSummary(const SyntheticSpec &s)
-{
-    std::string out;
-    auto add = [&](const char *n, double w) {
-        if (w <= 0)
-            return;
-        if (!out.empty())
-            out += " ";
-        char buf[48];
-        std::snprintf(buf, sizeof buf, "%s:%.2f", n, w);
-        out += buf;
-    };
-    add("privHot", s.mix.privateHot);
-    add("privStream", s.mix.privateStream);
-    add("shRO", s.mix.sharedRO);
-    add("shPC", s.mix.sharedPC);
-    add("shStream", s.mix.sharedStream);
-    add("lock", s.mix.lockRMW);
-    return out;
-}
-
-std::string
-kb(std::uint64_t bytes)
-{
-    return std::to_string(bytes >> 10) + "KB";
-}
-
-} // namespace
+#include "harness/sink.hh"
 
 int
 main()
 {
-    setVerbose(false);
-    const SystemConfig cfg = defaultConfig();
-    bench::banner("Table 2: Problem sizes for the parallel benchmarks",
-                  "Paper size -> synthetic substitution (scaled for"
-                  " minute-long sweeps; LACC_SCALE rescales)");
-
-    const double scale = opScaleFromEnv();
-    Table t({"Benchmark", "Paper problem size", "Archetype mix",
-             "Private WS", "Shared WS", "Ops/core"});
-    for (const auto &name : benchmarkNames()) {
-        const auto s = benchmarkSpec(name, cfg, scale);
-        const auto priv = s.privateHotBytes + s.privateStreamBytes;
-        const auto shared =
-            s.sharedROBytes + s.sharedPCBytes + s.sharedStreamBytes;
-        t.addRow({name, benchmarkProblemSize(name), mixSummary(s),
-                  kb(priv), kb(shared),
-                  std::to_string(static_cast<std::uint64_t>(
-                      s.opsPerPhase) * s.numPhases)});
-    }
-    t.print(std::cout);
-    return 0;
+    return lacc::harness::runLegacyMain("table2");
 }

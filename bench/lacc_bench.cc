@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Unified benchmark CLI: runs any subset of the registered paper
+ * figure/table experiments in one invocation, sharding simulation
+ * runs across worker threads and optionally emitting machine-readable
+ * BENCH_<experiment>.json result files (docs/BENCHMARKS.md).
+ *
+ * Usage:
+ *   lacc_bench --list
+ *   lacc_bench [--filter SUBSTR] [--jobs N] [--scale X]
+ *              [--json-dir DIR] [--quiet]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "harness/registry.hh"
+#include "harness/runner.hh"
+#include "harness/sink.hh"
+#include "sim/log.hh"
+
+using namespace lacc;
+using namespace lacc::harness;
+
+namespace {
+
+void
+usage(std::FILE *to)
+{
+    std::fprintf(
+        to,
+        "usage: lacc_bench [options]\n"
+        "\n"
+        "Runs the registered paper figure/table experiments and"
+        " prints each one's\ntext table; see docs/BENCHMARKS.md.\n"
+        "\n"
+        "options:\n"
+        "  --list            list experiments and exit\n"
+        "  --filter SUBSTR   only experiments whose name contains"
+        " SUBSTR\n"
+        "  --jobs N          worker threads for the sweeps"
+        " (default 1)\n"
+        "  --scale X         op-count scale; overrides LACC_SCALE\n"
+        "  --json-dir DIR    write BENCH_<experiment>.json into DIR\n"
+        "  --quiet           suppress per-run progress on stderr\n"
+        "  --help            this message\n");
+}
+
+bool
+parsePositiveDouble(const char *s, double &out)
+{
+    char *end = nullptr;
+    out = std::strtod(s, &end);
+    return end != s && *end == '\0' && out > 0.0;
+}
+
+bool
+parseUnsigned(const char *s, unsigned &out)
+{
+    char *end = nullptr;
+    const unsigned long v = std::strtoul(s, &end, 10);
+    if (end == s || *end != '\0' || v == 0 || v > 1024)
+        return false;
+    out = static_cast<unsigned>(v);
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setVerbose(false);
+
+    bool list = false;
+    std::string filter;
+    std::string jsonDir;
+    SweepOptions opts;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto value = [&](const char *name) -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s requires a value\n", name);
+                usage(stderr);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--help" || arg == "-h") {
+            usage(stdout);
+            return 0;
+        } else if (arg == "--list") {
+            list = true;
+        } else if (arg == "--filter") {
+            filter = value("--filter");
+        } else if (arg == "--jobs") {
+            if (!parseUnsigned(value("--jobs"), opts.jobs)) {
+                std::fprintf(stderr,
+                             "--jobs wants an integer in [1, 1024]\n");
+                return 2;
+            }
+        } else if (arg == "--scale") {
+            if (!parsePositiveDouble(value("--scale"), opts.opScale)) {
+                std::fprintf(stderr,
+                             "--scale wants a positive number\n");
+                return 2;
+            }
+        } else if (arg == "--json-dir") {
+            jsonDir = value("--json-dir");
+        } else if (arg == "--quiet") {
+            opts.progress = false;
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+            usage(stderr);
+            return 2;
+        }
+    }
+
+    const auto selected = Registry::instance().match(filter);
+    if (selected.empty()) {
+        std::fprintf(stderr, "no experiment matches filter '%s'\n",
+                     filter.c_str());
+        std::fprintf(stderr, "known experiments:\n");
+        for (const auto &name : Registry::instance().names())
+            std::fprintf(stderr, "  %s\n", name.c_str());
+        return 1;
+    }
+
+    if (list) {
+        for (const auto *exp : selected) {
+            const std::size_t n = exp->makeJobs().size();
+            std::printf("%-10s %4zu runs  %s\n", exp->name.c_str(), n,
+                        exp->description.c_str());
+        }
+        return 0;
+    }
+
+    double totalWall = 0.0;
+    std::size_t totalRuns = 0;
+    for (const auto *exp : selected) {
+        if (opts.progress)
+            std::fprintf(stderr, "[bench] === %s ===\n",
+                         exp->name.c_str());
+        const ExperimentOutcome outcome =
+            runExperiment(*exp, opts, std::cout);
+        totalWall += outcome.wallSeconds;
+        totalRuns += outcome.results.size();
+        if (!jsonDir.empty())
+            writeJsonFile(jsonDir, exp->name, documentFor(outcome));
+    }
+    if (opts.progress)
+        std::fprintf(stderr,
+                     "[bench] done: %zu experiments, %zu runs, %.1fs\n",
+                     selected.size(), totalRuns, totalWall);
+    return 0;
+}

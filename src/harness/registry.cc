@@ -1,0 +1,61 @@
+#include "harness/registry.hh"
+
+#include "sim/log.hh"
+
+namespace lacc::harness {
+
+Registry &
+Registry::instance()
+{
+    // Magic-static: thread-safe one-time construction + registration.
+    static Registry r = [] {
+        Registry reg;
+        registerBuiltinExperiments(reg);
+        return reg;
+    }();
+    return r;
+}
+
+void
+Registry::add(Experiment e)
+{
+    if (e.name.empty())
+        panic("experiment with empty name");
+    for (const auto &existing : experiments_)
+        if (existing.name == e.name)
+            panic("duplicate experiment '%s'", e.name.c_str());
+    if (!e.makeJobs || !e.report)
+        panic("experiment '%s' missing makeJobs/report", e.name.c_str());
+    experiments_.push_back(std::move(e));
+}
+
+const Experiment *
+Registry::find(const std::string &name) const
+{
+    for (const auto &e : experiments_)
+        if (e.name == name)
+            return &e;
+    return nullptr;
+}
+
+std::vector<const Experiment *>
+Registry::match(const std::string &filter) const
+{
+    std::vector<const Experiment *> out;
+    for (const auto &e : experiments_)
+        if (filter.empty() || e.name.find(filter) != std::string::npos)
+            out.push_back(&e);
+    return out;
+}
+
+std::vector<std::string>
+Registry::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(experiments_.size());
+    for (const auto &e : experiments_)
+        out.push_back(e.name);
+    return out;
+}
+
+} // namespace lacc::harness

@@ -1,0 +1,69 @@
+#include "harness/runner.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+namespace lacc::harness {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+} // namespace
+
+double
+resolveOpScale(const SweepOptions &opts)
+{
+    return opts.opScale > 0.0 ? opts.opScale : opScaleFromEnv();
+}
+
+std::vector<JobResult>
+runSweep(const std::vector<Job> &jobs, const SweepOptions &opts)
+{
+    std::vector<JobResult> out(jobs.size());
+    if (jobs.empty())
+        return out;
+
+    const double scale = resolveOpScale(opts);
+    std::atomic<std::size_t> next{0};
+
+    const auto worker = [&] {
+        while (true) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= jobs.size())
+                return;
+            const Job &job = jobs[i];
+            if (opts.progress)
+                std::fprintf(stderr, "[bench] %s\n", job.label.c_str());
+            const auto start = Clock::now();
+            RunResult r = runBenchmark(job.bench, job.cfg, scale);
+            out[i] = JobResult{job, std::move(r), secondsSince(start)};
+        }
+    };
+
+    const std::size_t want = opts.jobs == 0 ? 1 : opts.jobs;
+    const std::size_t n = std::min<std::size_t>(want, jobs.size());
+    if (n <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(n);
+        for (std::size_t t = 0; t < n; ++t)
+            pool.emplace_back(worker);
+        for (auto &t : pool)
+            t.join();
+    }
+    return out;
+}
+
+} // namespace lacc::harness

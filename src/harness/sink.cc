@@ -1,0 +1,111 @@
+#include "harness/sink.hh"
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+
+#include "sim/log.hh"
+#include "system/report.hh"
+
+namespace lacc::harness {
+
+namespace {
+
+/** Banner block above every experiment (shape of the old binaries). */
+void
+banner(std::ostream &os, const Experiment &exp)
+{
+    os << "=====================================================\n"
+       << exp.title << "\n" << exp.subtitle << "\n"
+       << "=====================================================\n";
+}
+
+} // namespace
+
+Json
+documentFor(const ExperimentOutcome &outcome)
+{
+    Json doc = Json::object();
+    doc["schema_version"] = kBenchJsonSchemaVersion;
+    doc["experiment"] = outcome.exp->name;
+    doc["title"] = outcome.exp->title;
+    doc["description"] = outcome.exp->description;
+    doc["op_scale"] = outcome.opScale;
+    doc["jobs"] =
+        static_cast<std::uint64_t>(outcome.results.size());
+    doc["wall_seconds"] = outcome.wallSeconds;
+    doc["figure"] = outcome.figure;
+
+    Json runs = Json::array();
+    for (const auto &jr : outcome.results) {
+        Json run = Json::object();
+        run["label"] = jr.job.label;
+        run["bench"] = jr.job.bench;
+        run["wall_seconds"] = jr.wallSeconds;
+        run["config"] = toJson(jr.job.cfg);
+        run["result"] = toJson(jr.result);
+        runs.push(std::move(run));
+    }
+    doc["runs"] = std::move(runs);
+    return doc;
+}
+
+void
+writeJsonFile(const std::string &dir, const std::string &name,
+              const Json &doc)
+{
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    if (ec)
+        fatal("cannot create JSON directory '%s': %s", dir.c_str(),
+              ec.message().c_str());
+    const fs::path path = fs::path(dir) / ("BENCH_" + name + ".json");
+    std::ofstream os(path);
+    if (!os)
+        fatal("cannot open '%s' for writing", path.c_str());
+    doc.write(os, 2);
+    os << '\n';
+    os.flush();
+    if (!os)
+        fatal("short write to '%s'", path.c_str());
+}
+
+ExperimentOutcome
+runExperiment(const Experiment &exp, const SweepOptions &opts,
+              std::ostream &text_out)
+{
+    const auto start = std::chrono::steady_clock::now();
+    ExperimentOutcome outcome;
+    outcome.exp = &exp;
+    outcome.opScale = resolveOpScale(opts);
+    banner(text_out, exp);
+    outcome.results = runSweep(exp.makeJobs(), opts);
+
+    const ReportContext ctx{outcome.results, outcome.opScale, text_out};
+    outcome.figure = exp.report(ctx);
+    outcome.wallSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    return outcome;
+}
+
+int
+runLegacyMain(const std::string &name)
+{
+    setVerbose(false);
+    const Experiment *exp = Registry::instance().find(name);
+    if (exp == nullptr) {
+        std::fprintf(stderr, "unknown experiment '%s'\n", name.c_str());
+        return 1;
+    }
+    SweepOptions opts;
+    opts.jobs = 1;
+    runExperiment(*exp, opts, std::cout);
+    return 0;
+}
+
+} // namespace lacc::harness

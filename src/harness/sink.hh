@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Result sink: assembles the BENCH_<experiment>.json document for a
+ * completed sweep (schema kBenchJsonSchemaVersion) and drives whole
+ * experiments end to end for the lacc_bench CLI and the thin legacy
+ * bench binaries.
+ *
+ * Document layout (docs/BENCHMARKS.md has the full schema):
+ *
+ *   {
+ *     "schema_version": 1,
+ *     "experiment": "fig08",
+ *     "title": "...", "description": "...",
+ *     "op_scale": 1.0,
+ *     "jobs": 168, "wall_seconds": 12.3,
+ *     "figure": { ... experiment-specific, incl. "table" ... },
+ *     "runs": [ {"label", "bench", "wall_seconds",
+ *                "config": {...}, "result": {...}}, ... ]
+ *   }
+ */
+
+#ifndef LACC_HARNESS_SINK_HH
+#define LACC_HARNESS_SINK_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "harness/registry.hh"
+#include "harness/runner.hh"
+
+namespace lacc::harness {
+
+/** A finished experiment: sweep results plus the report's JSON. */
+struct ExperimentOutcome
+{
+    const Experiment *exp = nullptr;
+    std::vector<JobResult> results;
+    Json figure;
+    double opScale = 1.0;
+    double wallSeconds = 0.0; //!< whole sweep incl. report
+};
+
+/** Assemble the full BENCH_<name>.json document for @p outcome. */
+Json documentFor(const ExperimentOutcome &outcome);
+
+/**
+ * Write @p doc to `<dir>/BENCH_<name>.json` (creating @p dir first).
+ * fatal() on I/O errors so CI fails loudly rather than uploading a
+ * truncated artifact.
+ */
+void writeJsonFile(const std::string &dir, const std::string &name,
+                   const Json &doc);
+
+/**
+ * Run one experiment end to end: sweep with @p opts, format the text
+ * output to @p text_out, and return the outcome (for JSON emission).
+ */
+ExperimentOutcome runExperiment(const Experiment &exp,
+                                const SweepOptions &opts,
+                                std::ostream &text_out);
+
+/**
+ * main() body for the thin legacy bench binaries: serial sweep, text
+ * to stdout, no JSON. @return process exit code.
+ */
+int runLegacyMain(const std::string &name);
+
+} // namespace lacc::harness
+
+#endif // LACC_HARNESS_SINK_HH

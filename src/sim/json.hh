@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Minimal order-preserving JSON value, writer, and parser.
+ *
+ * The bench harness emits machine-readable results (BENCH_*.json) and
+ * the tests round-trip them, so we need both directions but only the
+ * JSON subset we produce ourselves: finite numbers, UTF-8 strings,
+ * arrays, objects. Object keys keep insertion order so emitted files
+ * are stable run-to-run and diff cleanly across PRs.
+ *
+ * No external dependency: the container toolchain is pinned and the
+ * simulator keeps its substrate self-contained (see sim/rng.hh for the
+ * same argument about determinism).
+ */
+
+#ifndef LACC_SIM_JSON_HH
+#define LACC_SIM_JSON_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace lacc {
+
+/** A JSON document node (null / bool / number / string / array / object). */
+class Json
+{
+  public:
+    enum class Type : std::uint8_t {
+        Null,
+        Bool,
+        Int,    //!< signed integer (exact)
+        Uint,   //!< unsigned integer (exact, > INT64_MAX capable)
+        Double,
+        String,
+        Array,
+        Object,
+    };
+
+    Json() = default;
+    Json(std::nullptr_t) {}
+    Json(bool b) : type_(Type::Bool), bool_(b) {}
+    Json(int v) : type_(Type::Int), int_(v) {}
+    Json(long v) : type_(Type::Int), int_(v) {}
+    Json(long long v) : type_(Type::Int), int_(v) {}
+    Json(unsigned v) : type_(Type::Uint), uint_(v) {}
+    Json(unsigned long v) : type_(Type::Uint), uint_(v) {}
+    Json(unsigned long long v) : type_(Type::Uint), uint_(v) {}
+    Json(double v) : type_(Type::Double), dbl_(v) {}
+    Json(const char *s) : type_(Type::String), str_(s) {}
+    Json(std::string s) : type_(Type::String), str_(std::move(s)) {}
+
+    /** @return an empty JSON array (distinct from null). */
+    static Json array();
+
+    /** @return an empty JSON object (distinct from null). */
+    static Json object();
+
+    Type type() const { return type_; }
+    bool isNull() const { return type_ == Type::Null; }
+    bool isBool() const { return type_ == Type::Bool; }
+    bool isNumber() const
+    {
+        return type_ == Type::Int || type_ == Type::Uint ||
+               type_ == Type::Double;
+    }
+    bool isString() const { return type_ == Type::String; }
+    bool isArray() const { return type_ == Type::Array; }
+    bool isObject() const { return type_ == Type::Object; }
+
+    /** Value accessors; panic() on type mismatch. */
+    bool asBool() const;
+    std::int64_t asInt() const;   //!< exact ints only
+    std::uint64_t asUint() const; //!< exact non-negative ints only
+    double asDouble() const;      //!< any number
+    const std::string &asString() const;
+
+    /** Array/object element count (0 for scalars). */
+    std::size_t size() const;
+
+    /** Array: append an element (converts null to an array). */
+    Json &push(Json v);
+
+    /** Array: element access; panic() when out of range. */
+    const Json &at(std::size_t i) const;
+
+    /** Object: insert-or-get by key (converts null to an object). */
+    Json &operator[](const std::string &key);
+
+    /** Object: @return member pointer or nullptr when absent. */
+    const Json *find(const std::string &key) const;
+
+    /** Object: member access; panic() when absent. */
+    const Json &at(const std::string &key) const;
+
+    /** Object members in insertion order. */
+    const std::vector<std::pair<std::string, Json>> &items() const;
+
+    /** Array elements. */
+    const std::vector<Json> &elements() const;
+
+    /**
+     * Serialize. @p indent > 0 pretty-prints with that many spaces per
+     * level; 0 emits a compact single line.
+     */
+    void write(std::ostream &os, int indent = 2) const;
+    std::string dump(int indent = 2) const;
+
+    /**
+     * Parse @p text into a value. On malformed input returns null and,
+     * when @p error is non-null, stores a message with the byte offset.
+     */
+    static Json parse(const std::string &text,
+                      std::string *error = nullptr);
+
+    /** Deep structural equality (Int/Uint/Double compare by value). */
+    bool operator==(const Json &o) const;
+    bool operator!=(const Json &o) const { return !(*this == o); }
+
+  private:
+    void writeIndented(std::ostream &os, int indent, int depth) const;
+
+    Type type_ = Type::Null;
+    bool bool_ = false;
+    std::int64_t int_ = 0;
+    std::uint64_t uint_ = 0;
+    double dbl_ = 0.0;
+    std::string str_;
+    std::vector<Json> arr_;
+    std::vector<std::pair<std::string, Json>> obj_;
+};
+
+} // namespace lacc
+
+#endif // LACC_SIM_JSON_HH

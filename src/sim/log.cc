@@ -1,19 +1,33 @@
 #include "sim/log.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 
 namespace lacc {
 
 namespace {
-bool verboseEnabled = true;
+
+/**
+ * Atomic so the parallel sweep runner (harness/runner.cc) can read it
+ * from worker threads without a data race. Writers are expected to
+ * call setVerbose() before spawning workers; there is no ordering
+ * guarantee for mid-run flips.
+ */
+std::atomic<bool> verboseEnabled{true};
 
 void
 vprint(const char *tag, const char *fmt, va_list args)
 {
-    std::fprintf(stderr, "%s: ", tag);
-    std::vfprintf(stderr, fmt, args);
-    std::fprintf(stderr, "\n");
+    // One message = one stream operation where possible: build the
+    // line first so concurrent warn()s from sweep workers don't
+    // interleave mid-line.
+    char body[1024];
+    const int needed = std::vsnprintf(body, sizeof body, fmt, args);
+    std::fprintf(stderr, "%s: %s%s\n", tag, body,
+                 needed >= static_cast<int>(sizeof body)
+                     ? " [...truncated]"
+                     : "");
 }
 } // namespace
 

@@ -5,6 +5,12 @@
  * panic() flags an internal simulator bug and aborts; fatal() flags a
  * user/configuration error and exits cleanly; warn()/inform() print and
  * continue.
+ *
+ * Thread-safety: the verbose flag is atomic and every message is
+ * formatted into a single buffer before one locked fprintf, so
+ * concurrent sweep workers (harness/runner.hh) cannot interleave
+ * mid-line. Call setVerbose() before spawning workers; flips during a
+ * sweep have no ordering guarantee.
  */
 
 #ifndef LACC_SIM_LOG_HH

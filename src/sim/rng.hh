@@ -5,6 +5,11 @@
  * Workload generators and tests must be reproducible run-to-run and
  * platform-to-platform, so we avoid std::mt19937's distribution
  * differences and use a small, fully specified generator.
+ *
+ * Thread-safety: Rng is a plain value type with no global state; each
+ * instance is independent. The parallel sweep runner
+ * (harness/runner.hh) relies on this — every simulation owns its own
+ * seeded instances, so concurrent runs never share an RNG stream.
  */
 
 #ifndef LACC_SIM_RNG_HH

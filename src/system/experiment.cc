@@ -1,5 +1,7 @@
 #include "system/experiment.hh"
 
+#include <cctype>
+#include <cmath>
 #include <cstdlib>
 
 #include "sim/log.hh"
@@ -20,9 +22,22 @@ opScaleFromEnv()
     const char *s = std::getenv("LACC_SCALE");
     if (s == nullptr)
         return 1.0;
-    const double v = std::atof(s);
+    // Require the whole string (modulo trailing whitespace) to parse:
+    // atof-style prefix parsing silently accepted "2x" as 2 and made
+    // typos look like valid sweeps.
+    char *end = nullptr;
+    const double v = std::strtod(s, &end);
+    bool clean = end != s;
+    for (const char *p = end; clean && *p != '\0'; ++p)
+        clean = std::isspace(static_cast<unsigned char>(*p)) != 0;
+    if (!clean || !std::isfinite(v)) {
+        warn("ignoring unparseable LACC_SCALE '%s' (want a positive "
+             "number); using 1.0",
+             s);
+        return 1.0;
+    }
     if (v <= 0.0) {
-        warn("ignoring bad LACC_SCALE '%s'", s);
+        warn("ignoring non-positive LACC_SCALE '%s'; using 1.0", s);
         return 1.0;
     }
     return v;

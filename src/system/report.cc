@@ -4,7 +4,10 @@
 #include <cstdio>
 #include <ostream>
 
+#include "sim/config.hh"
 #include "sim/log.hh"
+#include "sim/stats.hh"
+#include "system/experiment.hh"
 
 namespace lacc {
 
@@ -75,6 +78,348 @@ geomean(const std::vector<double> &values)
     for (const double v : values)
         log_sum += std::log(v);
     return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+Json
+Table::toJson() const
+{
+    Json j = Json::object();
+    Json hdr = Json::array();
+    for (const auto &h : headers_)
+        hdr.push(h);
+    j["headers"] = std::move(hdr);
+    Json rows = Json::array();
+    for (const auto &row : rows_) {
+        Json r = Json::array();
+        for (const auto &cell : row)
+            r.push(cell);
+        rows.push(std::move(r));
+    }
+    j["rows"] = std::move(rows);
+    return j;
+}
+
+// ---------------------------------------------------------------------------
+// JSON serialization
+// ---------------------------------------------------------------------------
+
+namespace {
+
+Json
+cacheToJson(const CacheStats &c)
+{
+    Json j = Json::object();
+    j["loads"] = c.loads;
+    j["stores"] = c.stores;
+    j["load_misses"] = c.loadMisses;
+    j["store_misses"] = c.storeMisses;
+    j["evictions"] = c.evictions;
+    j["invalidations_recv"] = c.invalidationsRecv;
+    j["fills"] = c.fills;
+    return j;
+}
+
+CacheStats
+cacheFromJson(const Json &j)
+{
+    CacheStats c;
+    c.loads = j.at("loads").asUint();
+    c.stores = j.at("stores").asUint();
+    c.loadMisses = j.at("load_misses").asUint();
+    c.storeMisses = j.at("store_misses").asUint();
+    c.evictions = j.at("evictions").asUint();
+    c.invalidationsRecv = j.at("invalidations_recv").asUint();
+    c.fills = j.at("fills").asUint();
+    return c;
+}
+
+Json
+histToJson(const UtilizationHistogram &h)
+{
+    Json j = Json::object();
+    j["total"] = h.total();
+    Json buckets = Json::array();
+    for (std::uint32_t b = 0; b < 5; ++b)
+        buckets.push(h.bucketFraction(b));
+    j["paper_buckets"] = std::move(buckets);
+    Json counts = Json::array();
+    for (const auto c : h.counts)
+        counts.push(c);
+    j["counts"] = std::move(counts);
+    return j;
+}
+
+UtilizationHistogram
+histFromJson(const Json &j)
+{
+    UtilizationHistogram h;
+    const auto &counts = j.at("counts").elements();
+    for (std::size_t i = 0; i < counts.size() && i < h.counts.size();
+         ++i)
+        h.counts[i] = counts[i].asUint();
+    return h;
+}
+
+Json
+latencyToJson(const LatencyBreakdown &l)
+{
+    Json j = Json::object();
+    j["compute"] = l.compute;
+    j["l1_to_l2"] = l.l1ToL2;
+    j["l2_waiting"] = l.l2Waiting;
+    j["l2_sharers"] = l.l2Sharers;
+    j["off_chip"] = l.offChip;
+    j["synchronization"] = l.synchronization;
+    j["total"] = l.total();
+    return j;
+}
+
+LatencyBreakdown
+latencyFromJson(const Json &j)
+{
+    LatencyBreakdown l;
+    l.compute = j.at("compute").asUint();
+    l.l1ToL2 = j.at("l1_to_l2").asUint();
+    l.l2Waiting = j.at("l2_waiting").asUint();
+    l.l2Sharers = j.at("l2_sharers").asUint();
+    l.offChip = j.at("off_chip").asUint();
+    l.synchronization = j.at("synchronization").asUint();
+    return l;
+}
+
+Json
+energyToJson(const EnergyBreakdown &e)
+{
+    Json j = Json::object();
+    j["l1i"] = e.l1i;
+    j["l1d"] = e.l1d;
+    j["l2"] = e.l2;
+    j["directory"] = e.directory;
+    j["router"] = e.router;
+    j["link"] = e.link;
+    j["total"] = e.total();
+    return j;
+}
+
+EnergyBreakdown
+energyFromJson(const Json &j)
+{
+    EnergyBreakdown e;
+    e.l1i = j.at("l1i").asDouble();
+    e.l1d = j.at("l1d").asDouble();
+    e.l2 = j.at("l2").asDouble();
+    e.directory = j.at("directory").asDouble();
+    e.router = j.at("router").asDouble();
+    e.link = j.at("link").asDouble();
+    return e;
+}
+
+Json
+missesToJson(const MissBreakdown &m)
+{
+    Json j = Json::object();
+    for (std::size_t i = 0;
+         i < static_cast<std::size_t>(MissType::NumTypes); ++i)
+        j[missTypeName(static_cast<MissType>(i))] = m.counts[i];
+    j["total"] = m.total();
+    return j;
+}
+
+MissBreakdown
+missesFromJson(const Json &j)
+{
+    MissBreakdown m;
+    for (std::size_t i = 0;
+         i < static_cast<std::size_t>(MissType::NumTypes); ++i)
+        m.counts[i] =
+            j.at(missTypeName(static_cast<MissType>(i))).asUint();
+    return m;
+}
+
+Json
+networkToJson(const NetworkStats &n)
+{
+    Json j = Json::object();
+    j["unicasts"] = n.unicasts;
+    j["broadcasts"] = n.broadcasts;
+    j["flits_injected"] = n.flitsInjected;
+    j["flit_hops"] = n.flitHops;
+    j["contention_cycles"] = n.contentionCycles;
+    return j;
+}
+
+NetworkStats
+networkFromJson(const Json &j)
+{
+    NetworkStats n;
+    n.unicasts = j.at("unicasts").asUint();
+    n.broadcasts = j.at("broadcasts").asUint();
+    n.flitsInjected = j.at("flits_injected").asUint();
+    n.flitHops = j.at("flit_hops").asUint();
+    n.contentionCycles = j.at("contention_cycles").asUint();
+    return n;
+}
+
+Json
+protocolToJson(const ProtocolStats &p)
+{
+    Json j = Json::object();
+    j["private_read_grants"] = p.privateReadGrants;
+    j["private_write_grants"] = p.privateWriteGrants;
+    j["upgrade_grants"] = p.upgradeGrants;
+    j["remote_reads"] = p.remoteReads;
+    j["remote_writes"] = p.remoteWrites;
+    j["promotions"] = p.promotions;
+    j["demotions"] = p.demotions;
+    j["invalidations_sent"] = p.invalidationsSent;
+    j["broadcast_invals"] = p.broadcastInvals;
+    j["sync_writebacks"] = p.syncWritebacks;
+    j["dirty_writebacks"] = p.dirtyWritebacks;
+    j["l2_evictions"] = p.l2Evictions;
+    j["rehome_flushes"] = p.rehomeFlushes;
+    j["dram_fetches"] = p.dramFetches;
+    j["dram_writebacks"] = p.dramWritebacks;
+    return j;
+}
+
+ProtocolStats
+protocolFromJson(const Json &j)
+{
+    ProtocolStats p;
+    p.privateReadGrants = j.at("private_read_grants").asUint();
+    p.privateWriteGrants = j.at("private_write_grants").asUint();
+    p.upgradeGrants = j.at("upgrade_grants").asUint();
+    p.remoteReads = j.at("remote_reads").asUint();
+    p.remoteWrites = j.at("remote_writes").asUint();
+    p.promotions = j.at("promotions").asUint();
+    p.demotions = j.at("demotions").asUint();
+    p.invalidationsSent = j.at("invalidations_sent").asUint();
+    p.broadcastInvals = j.at("broadcast_invals").asUint();
+    p.syncWritebacks = j.at("sync_writebacks").asUint();
+    p.dirtyWritebacks = j.at("dirty_writebacks").asUint();
+    p.l2Evictions = j.at("l2_evictions").asUint();
+    p.rehomeFlushes = j.at("rehome_flushes").asUint();
+    p.dramFetches = j.at("dram_fetches").asUint();
+    p.dramWritebacks = j.at("dram_writebacks").asUint();
+    return p;
+}
+
+} // namespace
+
+Json
+toJson(const SystemConfig &cfg)
+{
+    Json j = Json::object();
+    j["num_cores"] = cfg.numCores;
+    j["mesh_width"] = cfg.meshWidth;
+    j["cluster_size"] = cfg.clusterSize;
+    j["line_size"] = cfg.lineSize;
+    j["page_size"] = cfg.pageSize;
+    j["l1i_size_kb"] = cfg.l1iSizeKB;
+    j["l1i_assoc"] = cfg.l1iAssoc;
+    j["l1d_size_kb"] = cfg.l1dSizeKB;
+    j["l1d_assoc"] = cfg.l1dAssoc;
+    j["l1_latency"] = cfg.l1Latency;
+    j["l2_size_kb"] = cfg.l2SizeKB;
+    j["l2_assoc"] = cfg.l2Assoc;
+    j["l2_latency"] = cfg.l2Latency;
+    j["num_mem_controllers"] = cfg.numMemControllers;
+    j["dram_bandwidth_gbps"] = cfg.dramBandwidthGBps;
+    j["dram_latency"] = cfg.dramLatency;
+    j["hop_latency"] = cfg.hopLatency;
+    j["flit_width_bits"] = cfg.flitWidthBits;
+    j["header_flits"] = cfg.headerFlits;
+    j["word_flits"] = cfg.wordFlits;
+    j["line_flits"] = cfg.lineFlits;
+    j["model_contention"] = cfg.modelContention;
+    j["directory"] = directoryKindName(cfg.directoryKind);
+    j["ackwise_pointers"] = cfg.ackwisePointers;
+    j["protocol"] = protocolKindName(cfg.protocolKind);
+    j["classifier"] = classifierKindName(cfg.classifierKind);
+    j["pct"] = cfg.pct;
+    j["rat_max"] = cfg.ratMax;
+    j["n_rat_levels"] = cfg.nRatLevels;
+    j["classifier_k"] = cfg.classifierK;
+    j["complete_learning_shortcut"] = cfg.completeLearningShortcut;
+    j["rnuca_enabled"] = cfg.rnucaEnabled;
+    j["seed"] = cfg.seed;
+    return j;
+}
+
+Json
+toJson(const SystemStats &stats)
+{
+    CoreStats sum;
+    for (const auto &c : stats.perCore)
+        sum += c;
+
+    Json j = Json::object();
+    j["cores"] = static_cast<std::uint64_t>(stats.perCore.size());
+    j["completion_time"] = stats.completionTime();
+    Json totals = Json::object();
+    totals["instructions"] = sum.instructions;
+    totals["mem_reads"] = sum.memReads;
+    totals["mem_writes"] = sum.memWrites;
+    totals["ifetches"] = sum.ifetches;
+    j["core_totals"] = std::move(totals);
+    j["latency"] = latencyToJson(sum.latency);
+    j["energy"] = energyToJson(stats.energy);
+    j["misses"] = missesToJson(sum.misses);
+    j["l1d_miss_rate"] = stats.l1dMissRate();
+    j["l1i"] = cacheToJson(sum.l1i);
+    j["l1d"] = cacheToJson(sum.l1d);
+    j["l2"] = cacheToJson(stats.l2);
+    j["network"] = networkToJson(stats.network);
+    j["protocol"] = protocolToJson(stats.protocol);
+    j["eviction_util"] = histToJson(stats.evictionUtil);
+    j["invalidation_util"] = histToJson(stats.invalidationUtil);
+    return j;
+}
+
+Json
+toJson(const RunResult &result)
+{
+    Json j = Json::object();
+    j["completion_time"] = result.completionTime;
+    j["energy_total"] = result.energyTotal;
+    j["functional_errors"] = result.functionalErrors;
+    j["stats"] = toJson(result.stats);
+    return j;
+}
+
+RunResult
+runResultFromJson(const Json &j)
+{
+    RunResult r;
+    r.completionTime = j.at("completion_time").asUint();
+    r.energyTotal = j.at("energy_total").asDouble();
+    r.functionalErrors = j.at("functional_errors").asUint();
+
+    const Json &s = j.at("stats");
+    // Aggregates land in core 0 of a perCore vector of the original
+    // size, so completionTime() and the total*() accessors reproduce
+    // the serialized values (per-core detail is intentionally summed).
+    r.stats.perCore.resize(s.at("cores").asUint());
+    if (!r.stats.perCore.empty()) {
+        CoreStats &c0 = r.stats.perCore[0];
+        const Json &totals = s.at("core_totals");
+        c0.instructions = totals.at("instructions").asUint();
+        c0.memReads = totals.at("mem_reads").asUint();
+        c0.memWrites = totals.at("mem_writes").asUint();
+        c0.ifetches = totals.at("ifetches").asUint();
+        c0.finishTime = s.at("completion_time").asUint();
+        c0.latency = latencyFromJson(s.at("latency"));
+        c0.misses = missesFromJson(s.at("misses"));
+        c0.l1i = cacheFromJson(s.at("l1i"));
+        c0.l1d = cacheFromJson(s.at("l1d"));
+    }
+    r.stats.l2 = cacheFromJson(s.at("l2"));
+    r.stats.network = networkFromJson(s.at("network"));
+    r.stats.protocol = protocolFromJson(s.at("protocol"));
+    r.stats.energy = energyFromJson(s.at("energy"));
+    r.stats.evictionUtil = histFromJson(s.at("eviction_util"));
+    r.stats.invalidationUtil = histFromJson(s.at("invalidation_util"));
+    return r;
 }
 
 } // namespace lacc

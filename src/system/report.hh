@@ -1,7 +1,9 @@
 /**
  * @file
- * Plain-text table formatting for bench/ outputs: fixed-width columns,
- * normalized breakdowns, and small numeric helpers (geometric mean).
+ * Result formatting for bench/ outputs: fixed-width text tables, small
+ * numeric helpers (geometric mean), and JSON serialization of system
+ * configurations and run results (the BENCH_*.json payloads emitted by
+ * the harness sink; see docs/BENCHMARKS.md for the schema).
  */
 
 #ifndef LACC_SYSTEM_REPORT_HH
@@ -12,7 +14,13 @@
 #include <string>
 #include <vector>
 
+#include "sim/json.hh"
+
 namespace lacc {
+
+struct SystemConfig;
+struct SystemStats;
+struct RunResult;
 
 /** Fixed-width text table (prints like the paper's data tables). */
 class Table
@@ -25,6 +33,15 @@ class Table
 
     /** Render with column alignment to @p os. */
     void print(std::ostream &os) const;
+
+    const std::vector<std::string> &headers() const { return headers_; }
+    const std::vector<std::vector<std::string>> &rows() const
+    {
+        return rows_;
+    }
+
+    /** @return {"headers": [...], "rows": [[...], ...]}. */
+    Json toJson() const;
 
   private:
     std::vector<std::string> headers_;
@@ -39,6 +56,35 @@ std::string fmtPct(double fraction, int precision = 1);
 
 /** Geometric mean of positive values (returns 0 for empty input). */
 double geomean(const std::vector<double> &values);
+
+// ---------------------------------------------------------------------------
+// JSON serialization (schema kBenchJsonSchemaVersion; docs/BENCHMARKS.md).
+// ---------------------------------------------------------------------------
+
+/** Version stamp written into every BENCH_*.json document. */
+constexpr int kBenchJsonSchemaVersion = 1;
+
+/** Serialize every SystemConfig field (enums as their names). */
+Json toJson(const SystemConfig &cfg);
+
+/**
+ * Serialize aggregated run statistics: completion time, the six-way
+ * energy and latency vectors (Figs 8-9), the miss taxonomy (Fig 10),
+ * L2 / network / protocol counters, and the utilization histograms
+ * (Figs 1-2) as paper buckets. Per-core breakdowns are summed, not
+ * emitted individually, to keep sweep documents small.
+ */
+Json toJson(const SystemStats &stats);
+
+/** Serialize a RunResult (stats plus the headline scalars). */
+Json toJson(const RunResult &result);
+
+/**
+ * Rebuild a RunResult from toJson(RunResult) output. Round-trips every
+ * emitted field; per-core detail is not reconstructed (the aggregate
+ * vectors land in a single synthetic core so totals are preserved).
+ */
+RunResult runResultFromJson(const Json &j);
 
 } // namespace lacc
 
