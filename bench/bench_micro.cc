@@ -11,7 +11,8 @@
 #include "cache/set_assoc.hh"
 #include "core/classifier.hh"
 #include "core/limited_classifier.hh"
-#include "dir/sharer_list.hh"
+#include "protocol/core_vec.hh"
+#include "protocol/sharer_list.hh"
 #include "energy/model.hh"
 #include "net/mesh.hh"
 #include "system/multicore.hh"
@@ -105,6 +106,42 @@ BM_AckwiseAddRemove(benchmark::State &state)
     }
 }
 BENCHMARK(BM_AckwiseAddRemove);
+
+void
+BM_HolderVecChurn(benchmark::State &state)
+{
+    // The L2Meta::holders hot path: grant-order inserts, membership
+    // probes, and per-sharer erases on a set sized by the arg (8 =
+    // inline capacity; 16 exercises the spill path).
+    const CoreId n = static_cast<CoreId>(state.range(0));
+    HolderVec v;
+    for (auto _ : state) {
+        for (CoreId c = 0; c < n; ++c)
+            v.insert(c);
+        bool any = false;
+        for (CoreId c = 0; c < n; ++c)
+            any |= v.contains(c);
+        benchmark::DoNotOptimize(any);
+        for (CoreId c = 0; c < n; ++c)
+            v.erase(c);
+    }
+}
+BENCHMARK(BM_HolderVecChurn)->Arg(4)->Arg(8)->Arg(16);
+
+void
+BM_SortedCoreVecContains(benchmark::State &state)
+{
+    // SharerList's tracked-identity probe (binary search, inline).
+    SortedCoreVec v;
+    for (CoreId c = 0; c < 8; ++c)
+        v.insert(static_cast<CoreId>(c * 7));
+    CoreId probe = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(v.contains(probe));
+        probe = static_cast<CoreId>((probe + 3) & 63);
+    }
+}
+BENCHMARK(BM_SortedCoreVecContains);
 
 void
 BM_LimitedClassifierRemoteAccess(benchmark::State &state)

@@ -8,7 +8,7 @@
  * Usage:
  *   lacc_bench --list
  *   lacc_bench [--filter SUBSTR] [--jobs N] [--scale X]
- *              [--json-dir DIR] [--quiet]
+ *              [--protocol NAME] [--json-dir DIR] [--quiet]
  */
 
 #include <cstdio>
@@ -21,6 +21,7 @@
 #include "harness/registry.hh"
 #include "harness/runner.hh"
 #include "harness/sink.hh"
+#include "protocol/factory.hh"
 #include "sim/log.hh"
 
 using namespace lacc;
@@ -45,6 +46,8 @@ usage(std::FILE *to)
         "  --jobs N          worker threads for the sweeps"
         " (default 1)\n"
         "  --scale X         op-count scale; overrides LACC_SCALE\n"
+        "  --protocol NAME   force every run onto a named coherence\n"
+        "                    protocol (lacc, fullmap)\n"
         "  --json-dir DIR    write BENCH_<experiment>.json into DIR\n"
         "  --quiet           suppress per-run progress on stderr\n"
         "  --help            this message\n");
@@ -110,6 +113,12 @@ main(int argc, char **argv)
                              "--scale wants a positive number\n");
                 return 2;
             }
+        } else if (arg == "--protocol") {
+            opts.protocol = value("--protocol");
+            // Validate up front (fatal names the known protocols)
+            // instead of dying mid-sweep in a worker thread.
+            SystemConfig probe;
+            applyProtocolName(probe, opts.protocol);
         } else if (arg == "--json-dir") {
             jsonDir = value("--json-dir");
         } else if (arg == "--quiet") {

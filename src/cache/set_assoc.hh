@@ -224,6 +224,12 @@ class SetAssocCache
     std::vector<Entry> entries_;
 };
 
+/**
+ * Saturation cap of the per-line private utilization counter (finite
+ * width in hardware).
+ */
+constexpr std::uint32_t kPrivateUtilCap = 0xFFFF;
+
 /** Per-line metadata of a private L1 cache (Fig 5 tag extension). */
 struct L1Meta
 {

@@ -18,6 +18,7 @@
 
 #include "core/storage_model.hh"
 #include "harness/registry.hh"
+#include "protocol/factory.hh"
 #include "sim/log.hh"
 #include "system/report.hh"
 #include "workload/suite.hh"
@@ -931,8 +932,10 @@ ackwiseExperiment()
     e.makeJobs = [] {
         std::vector<Job> jobs;
         for (const auto &bench : benchmarkNames()) {
+            // The two directory protocols, selected by factory name
+            // (identical configs to setting directoryKind by hand).
             SystemConfig fm = baselineConfig();
-            fm.directoryKind = DirectoryKind::FullMap;
+            applyProtocolName(fm, "fullmap");
             jobs.push_back(
                 {bench, baselineConfig(), "ackwise ack " + bench});
             jobs.push_back({bench, fm, "ackwise fullmap " + bench});

@@ -6,6 +6,8 @@
 #include <cstdio>
 #include <thread>
 
+#include "protocol/factory.hh"
+
 namespace lacc::harness {
 
 namespace {
@@ -34,6 +36,27 @@ runSweep(const std::vector<Job> &jobs, const SweepOptions &opts)
         return out;
 
     const double scale = resolveOpScale(opts);
+
+    // A --protocol override rewrites job configs but not their labels:
+    // an experiment that deliberately sweeps protocols (e.g. ackwise)
+    // would print rows whose label names one protocol and whose
+    // numbers came from another. Make that loudly visible.
+    if (!opts.protocol.empty()) {
+        std::size_t overridden = 0;
+        for (const auto &j : jobs)
+            if (opts.protocol != protocolNameFor(j.cfg))
+                ++overridden;
+        if (overridden > 0) {
+            std::fprintf(stderr,
+                         "[bench] warning: --protocol %s overrides"
+                         " %zu/%zu jobs whose configs select a"
+                         " different protocol; labels and table rows"
+                         " keep their original protocol names\n",
+                         opts.protocol.c_str(), overridden,
+                         jobs.size());
+        }
+    }
+
     std::atomic<std::size_t> next{0};
 
     const auto worker = [&] {
@@ -42,7 +65,9 @@ runSweep(const std::vector<Job> &jobs, const SweepOptions &opts)
                 next.fetch_add(1, std::memory_order_relaxed);
             if (i >= jobs.size())
                 return;
-            const Job &job = jobs[i];
+            Job job = jobs[i];
+            if (!opts.protocol.empty())
+                applyProtocolName(job.cfg, opts.protocol);
             if (opts.progress)
                 std::fprintf(stderr, "[bench] %s\n", job.label.c_str());
             const auto start = Clock::now();

@@ -49,6 +49,12 @@ struct SweepOptions
     double opScale = -1.0;
     /** Emit a "[bench] <label>" line to stderr as each job starts. */
     bool progress = true;
+    /**
+     * Force every job onto a named coherence protocol
+     * (protocol/factory.hh names, e.g. "fullmap"); empty = run each
+     * job's configured protocol. Maps onto `lacc_bench --protocol`.
+     */
+    std::string protocol;
 };
 
 /** @return @p opts.opScale if positive, else the LACC_SCALE value. */

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Small-vector of core ids for directory metadata.
+ *
+ * Directory entries track tiny core sets (ACKwise_p pointer slots,
+ * p = 4 by default; L1 holder oracles, typically <= the sharing
+ * degree), but the seed kept them in heap-allocated std::vectors with
+ * linear find/remove scans. SmallCoreVec stores up to kInlineCap ids
+ * inline (no heap allocation per directory entry on the common path)
+ * and spills to a heap vector only for genuinely large sets.
+ *
+ * Two orderings, selected by template parameter:
+ *
+ *  - kSorted = true: ids kept sorted, membership by binary search.
+ *    Used by SharerList's ACKwise pointer slots, whose order is
+ *    architecturally meaningless (the protocol only asks "is this
+ *    core tracked" / "how many").
+ *  - kSorted = false: insertion order preserved, linear membership.
+ *    Used for L2Meta::holders, where order is architecturally
+ *    *visible*: invalidation fan-out unicasts holders in grant order,
+ *    and with link contention the fan-out order shifts individual ack
+ *    arrival times. Sorting holders would change modeled timing (and
+ *    break the bench goldens), so the helper must not reorder them.
+ */
+
+#ifndef LACC_PROTOCOL_CORE_VEC_HH
+#define LACC_PROTOCOL_CORE_VEC_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace lacc {
+
+/** Small-buffer core-id set; see file header for the two orderings. */
+template <bool kSorted>
+class SmallCoreVec
+{
+  public:
+    /** Ids stored without touching the heap. */
+    static constexpr std::uint32_t kInlineCap = 8;
+
+    SmallCoreVec() = default;
+
+    std::uint32_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    const CoreId *begin() const { return data(); }
+    const CoreId *end() const { return data() + size_; }
+    CoreId operator[](std::uint32_t i) const { return data()[i]; }
+
+    /** True if @p c is in the set. */
+    bool
+    contains(CoreId c) const
+    {
+        if constexpr (kSorted)
+            return std::binary_search(begin(), end(), c);
+        else
+            return std::find(begin(), end(), c) != end();
+    }
+
+    /**
+     * Add @p c (sorted position or at the back, per ordering).
+     * @return false if it was already present (set semantics).
+     */
+    bool
+    insert(CoreId c)
+    {
+        std::uint32_t pos;
+        if constexpr (kSorted) {
+            const CoreId *it = std::lower_bound(begin(), end(), c);
+            if (it != end() && *it == c)
+                return false;
+            pos = static_cast<std::uint32_t>(it - begin());
+        } else {
+            if (contains(c))
+                return false;
+            pos = size_;
+        }
+        if (spilled_) {
+            spill_.insert(spill_.begin() + pos, c);
+            ++size_;
+            return true;
+        }
+        if (size_ == kInlineCap) {
+            spill_.assign(inline_, inline_ + size_);
+            spill_.insert(spill_.begin() + pos, c);
+            spilled_ = true;
+            ++size_;
+            return true;
+        }
+        for (std::uint32_t i = size_; i > pos; --i)
+            inline_[i] = inline_[i - 1];
+        inline_[pos] = c;
+        ++size_;
+        return true;
+    }
+
+    /** Remove @p c. @return false if it was not present. */
+    bool
+    erase(CoreId c)
+    {
+        const CoreId *it;
+        if constexpr (kSorted) {
+            it = std::lower_bound(begin(), end(), c);
+            if (it == end() || *it != c)
+                return false;
+        } else {
+            it = std::find(begin(), end(), c);
+            if (it == end())
+                return false;
+        }
+        const std::uint32_t pos =
+            static_cast<std::uint32_t>(it - begin());
+        if (spilled_) {
+            spill_.erase(spill_.begin() + pos);
+        } else {
+            for (std::uint32_t i = pos; i + 1 < size_; ++i)
+                inline_[i] = inline_[i + 1];
+        }
+        --size_;
+        return true;
+    }
+
+    /** Drop all ids (releases any spill storage). */
+    void
+    clear()
+    {
+        size_ = 0;
+        spilled_ = false;
+        spill_.clear();
+        spill_.shrink_to_fit();
+    }
+
+  private:
+    const CoreId *
+    data() const
+    {
+        return spilled_ ? spill_.data() : inline_;
+    }
+
+    CoreId inline_[kInlineCap] = {};
+    std::vector<CoreId> spill_; //!< holds *all* ids once spilled
+    std::uint32_t size_ = 0;
+    bool spilled_ = false;
+};
+
+/** Sorted flavor: SharerList pointer slots. */
+using SortedCoreVec = SmallCoreVec<true>;
+
+/** Grant-ordered flavor: L2Meta::holders (fan-out order matters). */
+using HolderVec = SmallCoreVec<false>;
+
+} // namespace lacc
+
+#endif // LACC_PROTOCOL_CORE_VEC_HH

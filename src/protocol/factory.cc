@@ -1,0 +1,86 @@
+#include "protocol/factory.hh"
+
+#include "protocol/fullmap.hh"
+#include "protocol/lacc.hh"
+#include "sim/config.hh"
+#include "sim/log.hh"
+
+namespace lacc {
+
+namespace {
+
+/**
+ * The single registration point: adding a protocol means adding one
+ * entry here (plus its DirectoryKind, if it needs a new one).
+ */
+struct ProtocolEntry
+{
+    const char *name;
+    DirectoryKind kind;
+    std::unique_ptr<CoherenceProtocol> (*make)(const ProtocolContext &);
+};
+
+const ProtocolEntry kProtocols[] = {
+    {"lacc", DirectoryKind::Ackwise,
+     [](const ProtocolContext &ctx) -> std::unique_ptr<CoherenceProtocol> {
+         return std::make_unique<LaccProtocol>(ctx);
+     }},
+    {"fullmap", DirectoryKind::FullMap,
+     [](const ProtocolContext &ctx) -> std::unique_ptr<CoherenceProtocol> {
+         return std::make_unique<FullMapProtocol>(ctx);
+     }},
+};
+
+const ProtocolEntry &
+entryFor(const SystemConfig &cfg)
+{
+    for (const auto &e : kProtocols)
+        if (e.kind == cfg.directoryKind)
+            return e;
+    panic("no protocol registered for DirectoryKind %d",
+          static_cast<int>(cfg.directoryKind));
+}
+
+} // namespace
+
+std::unique_ptr<CoherenceProtocol>
+makeProtocol(const SystemConfig &cfg, const ProtocolContext &ctx)
+{
+    return entryFor(cfg).make(ctx);
+}
+
+const std::vector<std::string> &
+protocolNames()
+{
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> out;
+        for (const auto &e : kProtocols)
+            out.emplace_back(e.name);
+        return out;
+    }();
+    return names;
+}
+
+const char *
+protocolNameFor(const SystemConfig &cfg)
+{
+    return entryFor(cfg).name;
+}
+
+void
+applyProtocolName(SystemConfig &cfg, const std::string &name)
+{
+    for (const auto &e : kProtocols) {
+        if (name == e.name) {
+            cfg.directoryKind = e.kind;
+            return;
+        }
+    }
+    std::string known;
+    for (const auto &e : kProtocols)
+        known += (known.empty() ? "" : ", ") + std::string(e.name);
+    fatal("unknown protocol '%s' (known: %s)", name.c_str(),
+          known.c_str());
+}
+
+} // namespace lacc

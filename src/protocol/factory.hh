@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Protocol factory: builds the CoherenceProtocol selected by a
+ * SystemConfig, and maps protocol names <-> configurations so the
+ * harness can sweep protocols by name (`lacc_bench --protocol`).
+ */
+
+#ifndef LACC_PROTOCOL_FACTORY_HH
+#define LACC_PROTOCOL_FACTORY_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "protocol/protocol.hh"
+
+namespace lacc {
+
+/**
+ * Build the protocol selected by @p cfg (DirectoryKind::Ackwise ->
+ * LaccProtocol, DirectoryKind::FullMap -> FullMapProtocol). The
+ * returned protocol holds a copy of @p ctx (references into the
+ * enclosing Multicore, which must outlive it).
+ */
+std::unique_ptr<CoherenceProtocol>
+makeProtocol(const SystemConfig &cfg, const ProtocolContext &ctx);
+
+/** Registered protocol names, in factory order: {"lacc", "fullmap"}. */
+const std::vector<std::string> &protocolNames();
+
+/** Name the factory would select for @p cfg. */
+const char *protocolNameFor(const SystemConfig &cfg);
+
+/**
+ * Reconfigure @p cfg to select the named protocol (harness sweeps by
+ * name). fatal() on an unknown name, listing the valid ones.
+ */
+void applyProtocolName(SystemConfig &cfg, const std::string &name);
+
+} // namespace lacc
+
+#endif // LACC_PROTOCOL_FACTORY_HH

@@ -1,0 +1,31 @@
+#include "protocol/lacc.hh"
+
+#include <algorithm>
+
+#include "sim/stats.hh"
+
+namespace lacc {
+
+Cycle
+AckwiseDirectory::fanOutInvalidations(CoreId home, L2Cache::Entry &entry,
+                                      const std::vector<CoreId> &targets,
+                                      Cycle t)
+{
+    if (!entry.meta.sharers.overflowed())
+        return BaseDirectoryController::fanOutInvalidations(home, entry,
+                                                            targets, t);
+
+    // ACKwise overflow: identities unknown, broadcast with a single
+    // injection; acks only from the actual sharers (§3.1).
+    std::vector<Cycle> arrivals;
+    Message bcast{MsgKind::InvalReq, home, home, MsgPayload::None};
+    ctx_.net.broadcast(bcast, t, arrivals);
+    ++ctx_.stats.protocol.broadcastInvals;
+    Cycle t_end = t;
+    for (const CoreId s : targets)
+        t_end = std::max(t_end,
+                         dropAndAck(s, home, entry, false, arrivals[s]));
+    return t_end;
+}
+
+} // namespace lacc

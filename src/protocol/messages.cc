@@ -1,0 +1,30 @@
+#include "protocol/messages.hh"
+
+namespace lacc {
+
+const char *
+msgKindName(MsgKind k)
+{
+    switch (k) {
+      case MsgKind::ShReq: return "ShReq";
+      case MsgKind::ExReq: return "ExReq";
+      case MsgKind::UpgradeReq: return "UpgradeReq";
+      case MsgKind::EvictNotice: return "EvictNotice";
+      case MsgKind::LineGrant: return "LineGrant";
+      case MsgKind::UpgradeGrant: return "UpgradeGrant";
+      case MsgKind::WordData: return "WordData";
+      case MsgKind::WordAck: return "WordAck";
+      case MsgKind::InvalReq: return "InvalReq";
+      case MsgKind::InvalAck: return "InvalAck";
+      case MsgKind::DowngradeReq: return "DowngradeReq";
+      case MsgKind::DowngradeAck: return "DowngradeAck";
+      case MsgKind::DramFetchReq: return "DramFetchReq";
+      case MsgKind::DramFetchData: return "DramFetchData";
+      case MsgKind::DramWriteback: return "DramWriteback";
+      case MsgKind::BarrierArrive: return "BarrierArrive";
+      case MsgKind::BarrierRelease: return "BarrierRelease";
+      default: return "?";
+    }
+}
+
+} // namespace lacc

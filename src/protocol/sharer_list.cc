@@ -1,4 +1,4 @@
-#include "dir/sharer_list.hh"
+#include "protocol/sharer_list.hh"
 
 #include "sim/log.hh"
 
@@ -19,15 +19,10 @@ SharerList::add(CoreId core)
 
     // ACKwise: exact while count <= p.
     if (!overflowed_) {
-        std::size_t free_slot = pointers_.size();
-        for (std::size_t i = 0; i < pointers_.size(); ++i) {
-            if (pointers_[i] == core)
-                return; // already tracked
-            if (pointers_[i] == kInvalidCore && free_slot == pointers_.size())
-                free_slot = i;
-        }
-        if (free_slot < pointers_.size()) {
-            pointers_[free_slot] = core;
+        if (pointers_.contains(core))
+            return; // already tracked
+        if (pointers_.size() < capacity_) {
+            pointers_.insert(core);
             ++count_;
             return;
         }
@@ -58,22 +53,18 @@ SharerList::remove(CoreId core)
         return;
     }
 
-    for (auto &p : pointers_) {
-        if (p == core) {
-            p = kInvalidCore;
-            --count_;
-            if (count_ == 0)
-                overflowed_ = false;
-            return;
-        }
+    if (pointers_.erase(core)) {
+        --count_;
+        if (count_ == 0)
+            overflowed_ = false;
+        return;
     }
     if (!overflowed_)
         panic("ACKwise remove of untracked core %u without overflow", core);
     --count_;
     if (count_ == 0) {
         overflowed_ = false;
-        for (auto &p : pointers_)
-            p = kInvalidCore;
+        pointers_.clear();
     }
 }
 
@@ -82,8 +73,7 @@ SharerList::clear()
 {
     count_ = 0;
     overflowed_ = false;
-    for (auto &p : pointers_)
-        p = kInvalidCore;
+    pointers_.clear();
     for (auto &w : bits_)
         w = 0;
 }
@@ -93,10 +83,7 @@ SharerList::contains(CoreId core) const
 {
     if (fullMap_)
         return (bits_[core / 64] >> (core % 64)) & 1;
-    for (const auto p : pointers_)
-        if (p == core)
-            return true;
-    return false;
+    return pointers_.contains(core);
 }
 
 std::vector<CoreId>

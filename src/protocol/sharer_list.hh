@@ -12,12 +12,13 @@
  * the line is fully invalidated.
  */
 
-#ifndef LACC_DIR_SHARER_LIST_HH
-#define LACC_DIR_SHARER_LIST_HH
+#ifndef LACC_PROTOCOL_SHARER_LIST_HH
+#define LACC_PROTOCOL_SHARER_LIST_HH
 
 #include <cstdint>
 #include <vector>
 
+#include "protocol/core_vec.hh"
 #include "sim/types.hh"
 
 namespace lacc {
@@ -32,7 +33,7 @@ class SharerList
     {
         SharerList s;
         s.fullMap_ = false;
-        s.pointers_.assign(pointers, kInvalidCore);
+        s.capacity_ = pointers;
         return s;
     }
 
@@ -77,7 +78,7 @@ class SharerList
      */
     bool contains(CoreId core) const;
 
-    /** Apply @p fn to each tracked sharer identity. */
+    /** Apply @p fn to each tracked sharer identity, id order. */
     template <typename F>
     void
     forEachTracked(F &&fn) const
@@ -92,9 +93,8 @@ class SharerList
                 }
             }
         } else {
-            for (const auto p : pointers_)
-                if (p != kInvalidCore)
-                    fn(p);
+            for (const CoreId p : pointers_)
+                fn(p);
         }
     }
 
@@ -108,10 +108,11 @@ class SharerList
     bool fullMap_ = false;
     bool overflowed_ = false;
     std::uint32_t count_ = 0;
-    std::vector<CoreId> pointers_; //!< ACKwise slots (kInvalidCore=free)
+    std::uint32_t capacity_ = 0;   //!< ACKwise slot count (the "p")
+    SortedCoreVec pointers_;       //!< ACKwise-tracked identities
     std::vector<std::uint64_t> bits_; //!< full-map bit vector
 };
 
 } // namespace lacc
 
-#endif // LACC_DIR_SHARER_LIST_HH
+#endif // LACC_PROTOCOL_SHARER_LIST_HH

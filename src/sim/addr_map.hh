@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Address geometry shared by the core model and the protocol layer:
+ * line / page / word extraction for a given SystemConfig. Kept as a
+ * tiny value type so both system/Multicore (ifetch walker) and
+ * protocol/ controllers agree on the mapping without referencing each
+ * other.
+ */
+
+#ifndef LACC_SIM_ADDR_MAP_HH
+#define LACC_SIM_ADDR_MAP_HH
+
+#include <cstdint>
+
+#include "sim/config.hh"
+#include "sim/types.hh"
+
+namespace lacc {
+
+/** log2 for exact powers of two (validated by SystemConfig). */
+inline std::uint32_t
+log2Exact(std::uint32_t v)
+{
+    std::uint32_t b = 0;
+    while ((1u << b) < v)
+        ++b;
+    return b;
+}
+
+/** Line/page/word address extraction for one configuration. */
+struct AddressMap
+{
+    std::uint32_t lineBits = 0;
+    std::uint32_t pageBits = 0;
+    std::uint32_t wordsPerLine = 0;
+
+    AddressMap() = default;
+    explicit AddressMap(const SystemConfig &cfg)
+        : lineBits(log2Exact(cfg.lineSize)),
+          pageBits(log2Exact(cfg.pageSize)),
+          wordsPerLine(cfg.wordsPerLine())
+    {}
+
+    LineAddr lineOf(Addr a) const { return a >> lineBits; }
+    PageAddr pageOf(Addr a) const { return a >> pageBits; }
+    PageAddr pageOfLine(LineAddr l) const
+    {
+        return l >> (pageBits - lineBits);
+    }
+    /** 64-bit word index within the line. */
+    std::uint32_t
+    wordOf(Addr a) const
+    {
+        return static_cast<std::uint32_t>((a >> 3) &
+                                          (wordsPerLine - 1));
+    }
+    /** First line of a page. */
+    LineAddr
+    firstLineOf(PageAddr page) const
+    {
+        return page << (pageBits - lineBits);
+    }
+    /** Lines per page. */
+    std::uint32_t
+    linesPerPage() const
+    {
+        return 1u << (pageBits - lineBits);
+    }
+};
+
+} // namespace lacc
+
+#endif // LACC_SIM_ADDR_MAP_HH

@@ -8,19 +8,6 @@ namespace lacc {
 
 namespace {
 
-/** log2 for exact powers of two. */
-std::uint32_t
-log2u(std::uint32_t v)
-{
-    std::uint32_t b = 0;
-    while ((1u << b) < v)
-        ++b;
-    return b;
-}
-
-/** Private utilization counters saturate (finite width in hardware). */
-constexpr std::uint32_t kUtilCap = 0xFFFF;
-
 const SystemConfig &
 validated(const SystemConfig &cfg)
 {
@@ -28,32 +15,22 @@ validated(const SystemConfig &cfg)
     return cfg;
 }
 
-bool
-holds(const std::vector<CoreId> &v, CoreId c)
-{
-    return std::find(v.begin(), v.end(), c) != v.end();
-}
-
-void
-eraseHolder(std::vector<CoreId> &v, CoreId c)
-{
-    v.erase(std::remove(v.begin(), v.end(), c), v.end());
-}
-
 } // namespace
 
 Multicore::Multicore(const SystemConfig &cfg)
-    : cfg_(validated(cfg)), lineBits_(log2u(cfg.lineSize)),
-      pageBits_(log2u(cfg.pageSize)), energy_(), mesh_(cfg_, energy_),
-      dram_(cfg_), pageTable_(), placement_(cfg_),
-      classifier_(LocalityClassifier::create(cfg_)),
-      barrier_(cfg_.numCores)
+    : cfg_(validated(cfg)), addr_(cfg_), energy_(),
+      mesh_(cfg_, energy_), net_(cfg_, mesh_), dram_(cfg_),
+      pageTable_(), placement_(cfg_), barrier_(cfg_.numCores)
 {
     tiles_.reserve(cfg_.numCores);
     for (std::uint32_t c = 0; c < cfg_.numCores; ++c)
         tiles_.push_back(std::make_unique<Tile>(static_cast<CoreId>(c),
                                                 cfg_));
     stats_.perCore.resize(cfg_.numCores);
+    protocol_ = makeProtocol(
+        cfg_, ProtocolContext{cfg_, addr_, tiles_, net_, energy_,
+                              dram_, pageTable_, placement_, stats_,
+                              mem_});
 }
 
 void
@@ -115,6 +92,7 @@ void
 Multicore::step(CoreId c, const MemOp &op)
 {
     Tile &tl = *tiles_[c];
+    L1Controller &l1 = protocol_->l1();
     switch (op.kind) {
       case MemOp::Kind::Read:
       case MemOp::Kind::Write: {
@@ -125,13 +103,13 @@ Multicore::step(CoreId c, const MemOp &op)
         else
             ++tl.stats.memReads;
         advanceInstructions(c, 1, *workload_);
-        memAccess(c, op.addr, is_write, false);
+        l1.access(c, op.addr, is_write, false);
         schedule(c, tl.now);
         break;
       }
       case MemOp::Kind::IFetch:
         ++tl.stats.instructions;
-        memAccess(c, op.addr, false, true);
+        l1.access(c, op.addr, false, true);
         schedule(c, tl.now);
         break;
       case MemOp::Kind::Compute:
@@ -188,560 +166,9 @@ Multicore::advanceInstructions(CoreId c, std::uint64_t n,
                                      cfg_.lineSize;
         // Fast path: a resident I-line costs nothing extra (fetch is
         // pipelined); only misses stall the core.
-        if (auto *e = tl.l1i.find(lineOf(addr))) {
-            e->lastAccess = tl.now;
-            if (e->meta.privateUtil < kUtilCap)
-                ++e->meta.privateUtil;
-            ++tl.stats.l1i.loads;
-        } else {
-            memAccess(c, addr, false, true, false);
-        }
+        if (!protocol_->l1().touchResidentIfetch(c, addr))
+            protocol_->l1().access(c, addr, false, true, false);
     }
-}
-
-void
-Multicore::memAccess(CoreId c, Addr addr, bool is_write, bool is_ifetch,
-                     bool charge_fetch_energy)
-{
-    Tile &tl = *tiles_[c];
-    L1Cache &l1 = is_ifetch ? tl.l1i : tl.l1d;
-    CacheStats &cs = is_ifetch ? tl.stats.l1i : tl.stats.l1d;
-    const LineAddr line = lineOf(addr);
-    const std::uint32_t word = wordOf(addr);
-
-    if (is_ifetch) {
-        if (charge_fetch_energy)
-            energy_.addL1iAccess();
-    } else {
-        energy_.addL1dAccess();
-    }
-    if (is_write)
-        ++cs.stores;
-    else
-        ++cs.loads;
-
-    auto *e = l1.find(line);
-    const bool writable = e != nullptr &&
-                          (e->meta.state == L1State::Exclusive ||
-                           e->meta.state == L1State::Modified);
-    if (e != nullptr && (!is_write || writable)) {
-        // L1 hit. Writes to an E copy silently upgrade to M.
-        if (is_write) {
-            e->meta.state = L1State::Modified;
-            const std::uint64_t v = nextValue();
-            e->words[word] = v;
-            refWrite(addr, v);
-        } else {
-            checkRead(addr, e->words[word]);
-        }
-        e->lastAccess = tl.now;
-        if (e->meta.privateUtil < kUtilCap)
-            ++e->meta.privateUtil;
-        tl.stats.latency.compute += cfg_.l1Latency;
-        tl.now += cfg_.l1Latency;
-        return;
-    }
-
-    const bool upgrade = e != nullptr &&
-                         e->meta.state == L1State::Shared && is_write;
-    if (!is_ifetch) {
-        tl.stats.misses.record(
-            tl.missTracker.classify(line, is_write, upgrade));
-    }
-    if (is_write)
-        ++cs.storeMisses;
-    else
-        ++cs.loadMisses;
-
-    missTransaction(c, addr, is_write, is_ifetch, upgrade);
-}
-
-L2Cache::Entry *
-Multicore::l2FindOrFill(CoreId home, LineAddr line, Cycle t_arr,
-                        Cycle &t_ready, Cycle &waiting, Cycle &offchip)
-{
-    Tile &ht = *tiles_[home];
-    if (auto *e = ht.l2.find(line)) {
-        const Cycle t2 = std::max(t_arr, e->meta.busyUntil);
-        waiting = t2 - t_arr;
-        offchip = 0;
-        t_ready = t2 + cfg_.l2Latency;
-        return e;
-    }
-
-    // L2 miss: fetch the line from DRAM through the line's memory
-    // controller, then install it (evicting an L2 victim if needed).
-    waiting = 0;
-    const Cycle t_tag = t_arr + cfg_.l2Latency;
-    energy_.addL2TagOnly();
-    const CoreId ctrl = dram_.controllerTile(line);
-    const Cycle t_req = mesh_.unicast(home, ctrl, cfg_.headerFlits,
-                                      t_tag);
-    const Cycle t_data = dram_.access(line, t_req);
-    const Cycle t_back = mesh_.unicast(
-        ctrl, home, cfg_.headerFlits + cfg_.lineFlits, t_data);
-    offchip = t_back - t_tag;
-    ++stats_.protocol.dramFetches;
-
-    auto &victim = ht.l2.victimFor(line);
-    if (victim.valid)
-        l2Evict(home, victim, t_back);
-
-    victim.valid = true;
-    victim.tag = line;
-    victim.lastAccess = t_back;
-    victim.meta.dstate = DirState::Uncached;
-    victim.meta.owner = kInvalidCore;
-    victim.meta.sharers =
-        cfg_.directoryKind == DirectoryKind::FullMap
-            ? SharerList::makeFullMap(cfg_.numCores)
-            : SharerList::makeAckwise(cfg_.ackwisePointers);
-    victim.meta.holders.clear();
-    victim.meta.cls = classifier_->makeState();
-    victim.meta.busyUntil = t_back;
-    victim.meta.dirty = false;
-    dram_.readLine(line, victim.words, cfg_.wordsPerLine());
-    energy_.addL2Line(); // fill write
-    ++stats_.l2.fills;
-
-    t_ready = t_back;
-    return &victim;
-}
-
-void
-Multicore::missTransaction(CoreId c, Addr addr, bool is_write,
-                           bool is_ifetch, bool upgrade)
-{
-    Tile &rt = *tiles_[c];
-    L1Cache &l1 = is_ifetch ? rt.l1i : rt.l1d;
-    const LineAddr line = lineOf(addr);
-    const std::uint32_t word = wordOf(addr);
-
-    // L1 set information communicated with the miss (§3.2/§3.3).
-    const bool has_inv = l1.hasInvalidWay(line);
-    const Cycle min_last = l1.minLastAccess(line);
-
-    // R-NUCA classification and home lookup.
-    const auto res = pageTable_.access(pageOf(addr), c, is_ifetch);
-    if (res.rehomed && placement_.enabled())
-        flushPageFromSlice(res.oldOwner, pageOf(addr), rt.now);
-    const CoreId home = placement_.home(line, res.record, c);
-
-    const Cycle t_inj = rt.now + cfg_.l1Latency;
-    rt.stats.latency.compute += cfg_.l1Latency;
-
-    // Requests always carry the line offset; writes carry the word.
-    const std::uint32_t req_flits =
-        cfg_.headerFlits + (is_write ? cfg_.wordFlits : 0);
-    const Cycle t1 = mesh_.unicast(c, home, req_flits, t_inj);
-
-    Cycle t_ready = 0, waiting = 0, offchip = 0;
-    L2Cache::Entry *entry =
-        l2FindOrFill(home, line, t1, t_ready, waiting, offchip);
-    entry->lastAccess = t_ready;
-    energy_.addDirAccess();
-
-    const Mode mode = upgrade
-                          ? Mode::Private
-                          : classifier_->classify(*entry->meta.cls, c);
-    const RemoteAccessContext ctx{t_ready, has_inv, min_last};
-
-    Cycle t_shar = t_ready;
-    bool granted = false;
-
-    if (is_write) {
-        const std::uint64_t val = nextValue();
-        // A write resets the remote utilization of all other remote
-        // sharers (§3.2) and invalidates all private sharers.
-        classifier_->onWriteByOther(*entry->meta.cls, c);
-        t_shar = invalidateHolders(home, *entry, c, t_ready);
-
-        bool promote = false;
-        if (mode == Mode::Remote) {
-            promote =
-                classifier_->onRemoteAccess(*entry->meta.cls, c, ctx);
-            if (promote)
-                ++stats_.protocol.promotions;
-        }
-
-        if (mode == Mode::Private || promote) {
-            granted = true;
-            if (upgrade) {
-                auto *le = l1.find(line);
-                if (le == nullptr)
-                    panic("upgrade requester lost its line");
-                le->meta.state = L1State::Modified;
-                le->words[word] = val;
-                le->lastAccess = rt.now;
-                if (le->meta.privateUtil < kUtilCap)
-                    ++le->meta.privateUtil;
-                ++stats_.protocol.upgradeGrants;
-                energy_.addL2TagOnly();
-            } else {
-                l1Fill(c, is_ifetch, line, entry->words,
-                       L1State::Modified, t_shar);
-                l1.find(line)->words[word] = val;
-                ++stats_.protocol.privateWriteGrants;
-                energy_.addL2Line();
-                ++stats_.l2.loads;
-            }
-            refWrite(addr, val);
-            if (!holds(entry->meta.holders, c))
-                entry->meta.holders.push_back(c);
-            entry->meta.sharers.clear();
-            entry->meta.sharers.add(c);
-            entry->meta.dstate = DirState::Exclusive;
-            entry->meta.owner = c;
-            classifier_->onPrivateGrant(*entry->meta.cls, c, t_ready);
-        } else {
-            // Remote word write: stored at the L2 home (§3.2).
-            entry->words[word] = val;
-            entry->meta.dirty = true;
-            refWrite(addr, val);
-            ++stats_.protocol.remoteWrites;
-            ++stats_.l2.stores;
-            energy_.addL2Word();
-            if (!is_ifetch)
-                rt.missTracker.onRemoteAccess(line);
-        }
-    } else {
-        bool promote = false;
-        if (mode == Mode::Remote) {
-            promote =
-                classifier_->onRemoteAccess(*entry->meta.cls, c, ctx);
-            if (promote)
-                ++stats_.protocol.promotions;
-        }
-
-        if (mode == Mode::Private || promote) {
-            granted = true;
-            if (entry->meta.dstate == DirState::Exclusive &&
-                entry->meta.owner != c) {
-                t_shar = syncWriteback(home, *entry, t_ready);
-            }
-            const L1State st = entry->meta.holders.empty()
-                                   ? L1State::Exclusive
-                                   : L1State::Shared;
-            l1Fill(c, is_ifetch, line, entry->words, st, t_shar);
-            checkRead(addr, entry->words[word]);
-            entry->meta.holders.push_back(c);
-            entry->meta.sharers.add(c);
-            if (st == L1State::Exclusive) {
-                entry->meta.dstate = DirState::Exclusive;
-                entry->meta.owner = c;
-            } else {
-                entry->meta.dstate = DirState::Shared;
-                entry->meta.owner = kInvalidCore;
-            }
-            classifier_->onPrivateGrant(*entry->meta.cls, c, t_ready);
-            ++stats_.protocol.privateReadGrants;
-            energy_.addL2Line();
-            ++stats_.l2.loads;
-        } else {
-            // Remote word read at the L2 home.
-            if (entry->meta.dstate == DirState::Exclusive)
-                t_shar = syncWriteback(home, *entry, t_ready);
-            checkRead(addr, entry->words[word]);
-            ++stats_.protocol.remoteReads;
-            ++stats_.l2.loads;
-            energy_.addL2Word();
-            if (!is_ifetch)
-                rt.missTracker.onRemoteAccess(line);
-        }
-    }
-
-    // Reply: full line for a grant (header only for an upgrade), one
-    // word for a remote read, bare ack for a remote write.
-    std::uint32_t reply_flits;
-    if (granted)
-        reply_flits = upgrade ? cfg_.headerFlits
-                              : cfg_.headerFlits + cfg_.lineFlits;
-    else
-        reply_flits = is_write ? cfg_.headerFlits
-                               : cfg_.headerFlits + cfg_.wordFlits;
-    const Cycle t5 = mesh_.unicast(home, c, reply_flits, t_shar);
-    entry->meta.busyUntil = t_shar;
-
-    // Completion-time attribution (§4.4); the stage times telescope so
-    // the components sum exactly to the transaction latency.
-    rt.stats.latency.l1ToL2 +=
-        (t1 - t_inj) + cfg_.l2Latency + (t5 - t_shar);
-    rt.stats.latency.l2Waiting += waiting;
-    rt.stats.latency.offChip += offchip;
-    rt.stats.latency.l2Sharers += t_shar - t_ready;
-    rt.now = t5;
-}
-
-std::uint32_t
-Multicore::dropHolderCopy(CoreId s, LineAddr line, L2Cache::Entry &entry,
-                          bool l2_eviction, Cycle t)
-{
-    Tile &st = *tiles_[s];
-    L1Cache *l1 = &st.l1d;
-    bool is_i = false;
-    auto *e = l1->find(line);
-    if (e == nullptr) {
-        l1 = &st.l1i;
-        e = l1->find(line);
-        is_i = true;
-    }
-    if (e == nullptr)
-        panic("holder oracle mismatch: core %u has no copy of line"
-              " %llx", s, static_cast<unsigned long long>(line));
-
-    const std::uint32_t util = e->meta.privateUtil;
-    const bool was_m = e->meta.state == L1State::Modified;
-    if (was_m) {
-        entry.words = e->words;
-        entry.meta.dirty = true;
-        ++stats_.protocol.syncWritebacks;
-    }
-
-    stats_.invalidationUtil.record(util);
-    if (!is_i) {
-        if (l2_eviction)
-            st.missTracker.onEviction(line); // inclusive capacity
-        else
-            st.missTracker.onInvalidation(line);
-    }
-    if (!l2_eviction) {
-        const Mode m = classifier_->onPrivateRemoval(
-            *entry.meta.cls, s, util, RemovalKind::Invalidation);
-        if (m == Mode::Remote)
-            ++stats_.protocol.demotions;
-    }
-
-    l1->invalidate(*e);
-    if (is_i) {
-        ++st.stats.l1i.invalidationsRecv;
-        energy_.addL1iTagOnly();
-    } else {
-        ++st.stats.l1d.invalidationsRecv;
-        energy_.addL1dTagOnly();
-    }
-    (void)t;
-    return cfg_.headerFlits + (was_m ? cfg_.lineFlits : 0);
-}
-
-Cycle
-Multicore::invalidateHolders(CoreId home, L2Cache::Entry &entry,
-                             CoreId except, Cycle t)
-{
-    std::vector<CoreId> targets = entry.meta.holders;
-    eraseHolder(targets, except);
-    if (targets.empty())
-        return t;
-
-    Cycle t_end = t;
-    if (entry.meta.sharers.overflowed()) {
-        // ACKwise overflow: identities unknown, broadcast with a
-        // single injection; acks only from the actual sharers (§3.1).
-        std::vector<Cycle> arrivals;
-        mesh_.broadcast(home, cfg_.headerFlits, t, arrivals);
-        ++stats_.protocol.broadcastInvals;
-        for (const CoreId s : targets) {
-            const std::uint32_t ack =
-                dropHolderCopy(s, entry.tag, entry, false, arrivals[s]);
-            const Cycle t_ack =
-                mesh_.unicast(s, home, ack, arrivals[s] + 1);
-            t_end = std::max(t_end, t_ack);
-        }
-    } else {
-        for (const CoreId s : targets) {
-            const Cycle t_arr =
-                mesh_.unicast(home, s, cfg_.headerFlits, t);
-            ++stats_.protocol.invalidationsSent;
-            const std::uint32_t ack =
-                dropHolderCopy(s, entry.tag, entry, false, t_arr);
-            const Cycle t_ack = mesh_.unicast(s, home, ack, t_arr + 1);
-            t_end = std::max(t_end, t_ack);
-        }
-    }
-
-    for (const CoreId s : targets)
-        entry.meta.sharers.remove(s);
-    const bool except_held = holds(entry.meta.holders, except);
-    entry.meta.holders.clear();
-    if (except_held)
-        entry.meta.holders.push_back(except);
-
-    if (entry.meta.holders.empty()) {
-        entry.meta.dstate = DirState::Uncached;
-        entry.meta.owner = kInvalidCore;
-    } else {
-        // Only the requester's (upgrade) copy remains, in state S; the
-        // caller promotes it to Exclusive.
-        entry.meta.dstate = DirState::Shared;
-        entry.meta.owner = kInvalidCore;
-    }
-    return t_end;
-}
-
-Cycle
-Multicore::syncWriteback(CoreId home, L2Cache::Entry &entry, Cycle t)
-{
-    const CoreId o = entry.meta.owner;
-    if (o == kInvalidCore)
-        panic("syncWriteback without an owner");
-    Tile &ot = *tiles_[o];
-    L1Cache *l1 = &ot.l1d;
-    auto *e = l1->find(entry.tag);
-    if (e == nullptr) {
-        l1 = &ot.l1i;
-        e = l1->find(entry.tag);
-    }
-    if (e == nullptr)
-        panic("owner oracle mismatch on line %llx",
-              static_cast<unsigned long long>(entry.tag));
-
-    const Cycle t_req = mesh_.unicast(home, o, cfg_.headerFlits, t);
-    const bool was_m = e->meta.state == L1State::Modified;
-    if (was_m) {
-        entry.words = e->words;
-        entry.meta.dirty = true;
-        energy_.addL2Line();
-    }
-    e->meta.state = L1State::Shared; // downgrade; owner keeps its copy
-    energy_.addL1dAccess();
-    const std::uint32_t ack =
-        cfg_.headerFlits + (was_m ? cfg_.lineFlits : 0);
-    const Cycle t_ack = mesh_.unicast(o, home, ack, t_req + 1);
-
-    entry.meta.dstate = DirState::Shared;
-    entry.meta.owner = kInvalidCore;
-    ++stats_.protocol.syncWritebacks;
-    return t_ack;
-}
-
-void
-Multicore::l1Fill(CoreId c, bool is_ifetch, LineAddr line,
-                  const std::vector<std::uint64_t> &words, L1State st,
-                  Cycle t)
-{
-    Tile &tl = *tiles_[c];
-    L1Cache &l1 = is_ifetch ? tl.l1i : tl.l1d;
-    auto &victim = l1.victimFor(line);
-    if (victim.valid)
-        l1Evict(c, is_ifetch, victim, t);
-
-    victim.valid = true;
-    victim.tag = line;
-    victim.lastAccess = t;
-    victim.meta.state = st;
-    victim.meta.privateUtil = 1; // §3.2: initialized to 1 on fill
-    victim.words = words;
-    if (is_ifetch) {
-        ++tl.stats.l1i.fills;
-        energy_.addL1iFill();
-    } else {
-        ++tl.stats.l1d.fills;
-        energy_.addL1dFill();
-    }
-}
-
-void
-Multicore::l1Evict(CoreId c, bool is_ifetch, L1Cache::Entry &victim,
-                   Cycle t)
-{
-    Tile &tl = *tiles_[c];
-    const LineAddr line = victim.tag;
-    const std::uint32_t util = victim.meta.privateUtil;
-    const bool was_m = victim.meta.state == L1State::Modified;
-
-    const CoreId home = homeOf(line, c);
-    stats_.evictionUtil.record(util);
-    if (!is_ifetch)
-        tl.missTracker.onEviction(line);
-    (is_ifetch ? tl.stats.l1i : tl.stats.l1d).evictions++;
-
-    // Eviction notice (fire-and-forget): the utilization counter rides
-    // in the header (§3.6); a dirty line carries the data.
-    const std::uint32_t flits =
-        cfg_.headerFlits + (was_m ? cfg_.lineFlits : 0);
-    mesh_.unicast(c, home, flits, t);
-
-    auto *he = tiles_[home]->l2.find(line);
-    if (he == nullptr)
-        panic("inclusion violation: L1 evict of line %llx not in home"
-              " %u", static_cast<unsigned long long>(line), home);
-
-    eraseHolder(he->meta.holders, c);
-    he->meta.sharers.remove(c);
-    if (was_m) {
-        he->words = victim.words;
-        he->meta.dirty = true;
-        ++stats_.protocol.dirtyWritebacks;
-        energy_.addL2Line();
-    } else {
-        energy_.addL2TagOnly();
-    }
-    energy_.addDirAccess();
-    if (he->meta.owner == c)
-        he->meta.owner = kInvalidCore;
-    if (he->meta.holders.empty()) {
-        he->meta.dstate = DirState::Uncached;
-        he->meta.owner = kInvalidCore;
-    } else if (he->meta.owner == kInvalidCore) {
-        he->meta.dstate = DirState::Shared;
-    }
-
-    const Mode m = classifier_->onPrivateRemoval(*he->meta.cls, c, util,
-                                                 RemovalKind::Eviction);
-    if (m == Mode::Remote)
-        ++stats_.protocol.demotions;
-}
-
-void
-Multicore::l2Evict(CoreId home, L2Cache::Entry &victim, Cycle t)
-{
-    const LineAddr line = victim.tag;
-    const std::vector<CoreId> targets = victim.meta.holders;
-    for (const CoreId s : targets) {
-        const Cycle t_arr = mesh_.unicast(home, s, cfg_.headerFlits, t);
-        ++stats_.protocol.invalidationsSent;
-        const std::uint32_t ack =
-            dropHolderCopy(s, line, victim, true, t_arr);
-        mesh_.unicast(s, home, ack, t_arr + 1);
-    }
-    victim.meta.holders.clear();
-    victim.meta.sharers.clear();
-
-    if (victim.meta.dirty) {
-        dram_.writeLine(line, victim.words);
-        const CoreId ctrl = dram_.controllerTile(line);
-        const Cycle tw = mesh_.unicast(
-            home, ctrl, cfg_.headerFlits + cfg_.lineFlits, t);
-        dram_.access(line, tw);
-        ++stats_.protocol.dramWritebacks;
-        energy_.addL2Line();
-    }
-    ++stats_.l2.evictions;
-    ++stats_.protocol.l2Evictions;
-    tiles_[home]->l2.invalidate(victim);
-}
-
-void
-Multicore::flushPageFromSlice(CoreId old_home, PageAddr page, Cycle t)
-{
-    const std::uint32_t lines_per_page = cfg_.pageSize / cfg_.lineSize;
-    const LineAddr first = page << (pageBits_ - lineBits_);
-    Tile &ht = *tiles_[old_home];
-    for (std::uint32_t i = 0; i < lines_per_page; ++i) {
-        if (auto *e = ht.l2.find(first + i)) {
-            l2Evict(old_home, *e, t);
-            ++stats_.protocol.rehomeFlushes;
-        }
-    }
-}
-
-CoreId
-Multicore::homeOf(LineAddr line, CoreId requester) const
-{
-    const auto *rec = pageTable_.lookup(pageOfLine(line));
-    if (rec == nullptr)
-        panic("home lookup before page classification (line %llx)",
-              static_cast<unsigned long long>(line));
-    return placement_.home(line, *rec, requester);
 }
 
 void
@@ -754,15 +181,18 @@ Multicore::handleBarrier(CoreId c, Workload &workload)
     // live, do go through the coherence protocol.)
     Tile &tl = *tiles_[c];
     const CoreId bhome = static_cast<CoreId>(cfg_.numCores / 2);
-    const Cycle t_arr =
-        mesh_.unicast(c, bhome, cfg_.headerFlits, tl.now);
+    Message arrive{MsgKind::BarrierArrive, c, bhome,
+                   MsgPayload::None};
+    const Cycle t_arr = net_.send(arrive, tl.now);
     tl.stats.latency.synchronization += t_arr - tl.now;
     tl.now = t_arr;
 
     if (barrier_.arrive(c, t_arr)) {
         const Cycle rel = barrier_.releaseTime();
         std::vector<Cycle> wake;
-        mesh_.broadcast(bhome, cfg_.headerFlits, rel, wake);
+        Message release{MsgKind::BarrierRelease, bhome, bhome,
+                        MsgPayload::None};
+        net_.broadcast(release, rel, wake);
         if (barrierReleases_ + 1 == workload.warmupBarriers()) {
             // Warm-up boundary: align every core on one clock so the
             // measurement epoch starts with exact per-core breakdown
@@ -818,7 +248,7 @@ Multicore::handleLockAcquire(CoreId c, std::uint32_t id,
     if (id >= locks_.size())
         fatal("lock id %u out of range (%zu locks)", id, locks_.size());
     Tile &tl = *tiles_[c];
-    memAccess(c, workload.lockAddr(id), true, false);
+    protocol_->l1().access(c, workload.lockAddr(id), true, false);
     const Cycle t_end = tl.now;
 
     if (locks_[id].tryAcquire(c)) {
@@ -838,7 +268,7 @@ Multicore::handleLockRelease(CoreId c, std::uint32_t id,
     Tile &tl = *tiles_[c];
     if (locks_[id].holder() != c)
         fatal("core %u releases lock %u it does not hold", c, id);
-    memAccess(c, workload.lockAddr(id), true, false);
+    protocol_->l1().access(c, workload.lockAddr(id), true, false);
     const Cycle t_end = tl.now;
 
     LockState::Waiter w{};
@@ -855,35 +285,10 @@ Multicore::handleLockRelease(CoreId c, std::uint32_t id,
     schedule(c, t_end);
 }
 
-void
-Multicore::refWrite(Addr addr, std::uint64_t v)
-{
-    if (checkFunctional_)
-        refMem_[addr & ~Addr{7}] = v;
-}
-
-void
-Multicore::checkRead(Addr addr, std::uint64_t got)
-{
-    if (!checkFunctional_)
-        return;
-    const auto it = refMem_.find(addr & ~Addr{7});
-    const std::uint64_t expect = it == refMem_.end() ? 0 : it->second;
-    if (got != expect) {
-        ++functionalErrors_;
-        if (functionalErrors_ <= 10) {
-            warn("functional mismatch at %llx: got %llu expect %llu",
-                 static_cast<unsigned long long>(addr),
-                 static_cast<unsigned long long>(got),
-                 static_cast<unsigned long long>(expect));
-        }
-    }
-}
-
 Cycle
 Multicore::testAccess(CoreId core, Addr addr, bool is_write)
 {
-    memAccess(core, addr, is_write, false);
+    protocol_->l1().access(core, addr, is_write, false);
     return tiles_[core]->now;
 }
 

@@ -1,8 +1,11 @@
 /**
  * @file
- * The whole-system simulator: a tiled multicore running the
- * Locality-Aware Adaptive Coherence protocol on a Private-L1
- * Shared-L2 (R-NUCA) organization with ACKwise_p directories (§3.1).
+ * The whole-system simulator: a tiled multicore running a pluggable
+ * coherence protocol (protocol/factory.hh) on a Private-L1 Shared-L2
+ * (R-NUCA) organization. The default protocol is the paper's
+ * Locality-Aware Adaptive Coherence over ACKwise_p directories
+ * (protocol/lacc.hh); the full-map baseline is selected via
+ * SystemConfig::directoryKind (protocol/fullmap.hh).
  *
  * Modeling level mirrors the paper's Graphite setup (§4.1):
  * trace-driven in-order 1-IPC cores with per-core clocks (lax
@@ -11,6 +14,14 @@
  * data movement through the protocol (values really travel via L1
  * copies, word accesses, write-backs, and DRAM, and can be checked
  * against a reference memory).
+ *
+ * Multicore itself is orchestration only: per-core clocks and the
+ * event loop, workload stepping (including the ifetch walker),
+ * barrier/lock synchronization, warm-up stats resets, and functional
+ * checking. The coherence state machine — miss transactions,
+ * invalidation fan-out, write-backs, L1/L2 fills and evictions, the
+ * remote-word path — lives behind the protocol layer's
+ * L1Controller/DirectoryController interfaces.
  *
  * Directory transactions execute atomically in simulated-time order:
  * protocol state updates are instantaneous at transaction processing
@@ -25,16 +36,20 @@
 #include <cstdint>
 #include <memory>
 #include <queue>
-#include <unordered_map>
 #include <vector>
 
 #include "core/classifier.hh"
 #include "dram/dram.hh"
 #include "energy/model.hh"
 #include "net/mesh.hh"
+#include "protocol/factory.hh"
+#include "protocol/messages.hh"
+#include "protocol/protocol.hh"
 #include "rnuca/page_table.hh"
 #include "rnuca/placement.hh"
+#include "sim/addr_map.hh"
 #include "sim/config.hh"
+#include "sim/functional.hh"
 #include "sim/stats.hh"
 #include "system/tile.hh"
 #include "workload/sync.hh"
@@ -53,7 +68,7 @@ class Multicore
      * memory (default on; benches disable it for speed — data still
      * moves through the protocol either way).
      */
-    void setFunctionalChecks(bool on) { checkFunctional_ = on; }
+    void setFunctionalChecks(bool on) { mem_.setChecks(on); }
 
     /**
      * Run @p workload to completion and return the collected
@@ -69,7 +84,7 @@ class Multicore
     const SystemConfig &config() const { return cfg_; }
 
     /** Functional mismatches observed (must be 0 after a run). */
-    std::uint64_t functionalErrors() const { return functionalErrors_; }
+    std::uint64_t functionalErrors() const { return mem_.errors(); }
 
     // ---- Test / inspection hooks --------------------------------------
     /** Core @p c's tile: its L1s, L2 slice + directory, and clock. */
@@ -81,8 +96,10 @@ class Multicore
     const PageTable &pageTable() const { return pageTable_; }
     /** R-NUCA line-to-home-slice placement policy. */
     const Placement &placement() const { return placement_; }
+    /** The coherence protocol this system runs (factory-selected). */
+    CoherenceProtocol &protocol() { return *protocol_; }
     /** The system-wide locality classifier policy object. */
-    LocalityClassifier &classifier() { return *classifier_; }
+    LocalityClassifier &classifier() { return protocol_->classifier(); }
     /** The DRAM model behind the memory controllers. */
     DramModel &dram() { return dram_; }
 
@@ -107,71 +124,9 @@ class Multicore
      */
     void resetStatsForMeasurement(Cycle t);
 
-    // ---- Core-side paths --------------------------------------------------
-    /**
-     * One data or instruction access through the L1; advances the
-     * core's clock and attributes latency.
-     *
-     * @param charge_fetch_energy explicit accesses charge L1 energy;
-     *        walker-originated ifetches are covered by the bulk
-     *        per-instruction fetch energy
-     */
-    void memAccess(CoreId c, Addr addr, bool is_write, bool is_ifetch,
-                   bool charge_fetch_energy = true);
-
     /** Advance the ifetch walker by @p n instructions. */
     void advanceInstructions(CoreId c, std::uint64_t n,
                              const Workload &workload);
-
-    // ---- Directory transaction --------------------------------------------
-    void missTransaction(CoreId c, Addr addr, bool is_write,
-                         bool is_ifetch, bool upgrade);
-
-    /**
-     * Find the line in the home slice or fill it from DRAM.
-     * Outputs the stage boundary times for attribution.
-     */
-    L2Cache::Entry *l2FindOrFill(CoreId home, LineAddr line, Cycle t_arr,
-                                 Cycle &t_ready, Cycle &waiting,
-                                 Cycle &offchip);
-
-    /**
-     * Invalidate all private holders except @p except; merges M data
-     * into the L2 copy. @return time all acks have been collected.
-     */
-    Cycle invalidateHolders(CoreId home, L2Cache::Entry &entry,
-                            CoreId except, Cycle t);
-
-    /** Downgrade the exclusive owner (read path): data to L2, owner
-     * keeps an S copy. @return ack time. */
-    Cycle syncWriteback(CoreId home, L2Cache::Entry &entry, Cycle t);
-
-    /** Install a line into an L1, evicting the victim if needed. */
-    void l1Fill(CoreId c, bool is_ifetch, LineAddr line,
-                const std::vector<std::uint64_t> &words, L1State st,
-                Cycle t);
-
-    /** Handle an L1 eviction: notify the home, classify (§3.2). */
-    void l1Evict(CoreId c, bool is_ifetch, L1Cache::Entry &victim,
-                 Cycle t);
-
-    /** Evict an L2 line: back-invalidate holders, write back. */
-    void l2Evict(CoreId home, L2Cache::Entry &victim, Cycle t);
-
-    /** R-NUCA private->shared re-homing flush (§3.1). */
-    void flushPageFromSlice(CoreId old_home, PageAddr page, Cycle t);
-
-    /**
-     * Remove one holder's L1 copy (shared invalidation mechanics).
-     *
-     * @param l2_eviction true when driven by an inclusive L2 eviction:
-     *        the locality state dies with the entry, so the classifier
-     *        is not consulted and the tracker records a capacity event
-     * @return ack flits (header, plus the line for an M write-back)
-     */
-    std::uint32_t dropHolderCopy(CoreId s, LineAddr line,
-                                 L2Cache::Entry &entry,
-                                 bool l2_eviction, Cycle t);
 
     // ---- Synchronization -------------------------------------------------
     void handleBarrier(CoreId c, Workload &workload);
@@ -180,40 +135,24 @@ class Multicore
     void handleLockRelease(CoreId c, std::uint32_t id,
                            Workload &workload);
 
-    // ---- Functional data -----------------------------------------------
-    std::uint64_t nextValue() { return ++valueCounter_; }
-    void refWrite(Addr addr, std::uint64_t v);
-    void checkRead(Addr addr, std::uint64_t got);
-
-    // ---- Address helpers ---------------------------------------------------
-    LineAddr lineOf(Addr a) const { return a >> lineBits_; }
-    PageAddr pageOf(Addr a) const { return a >> pageBits_; }
-    PageAddr pageOfLine(LineAddr l) const
-    {
-        return l >> (pageBits_ - lineBits_);
-    }
-    std::uint32_t wordOf(Addr a) const
-    {
-        return static_cast<std::uint32_t>((a >> 3) &
-                                          (cfg_.wordsPerLine() - 1));
-    }
-
-    /** Home slice for a line (page table must already classify it). */
-    CoreId homeOf(LineAddr line, CoreId requester) const;
-
     SystemConfig cfg_;
-    std::uint32_t lineBits_;
-    std::uint32_t pageBits_;
+    AddressMap addr_;
 
     EnergyModel energy_;
     MeshNetwork mesh_;
+    MessageTransport net_;
     DramModel dram_;
     PageTable pageTable_;
     Placement placement_;
-    std::unique_ptr<LocalityClassifier> classifier_;
 
     std::vector<std::unique_ptr<Tile>> tiles_;
     SystemStats stats_;
+
+    // Functional reference memory (word granularity).
+    FunctionalMemory mem_;
+
+    /** The pluggable coherence engine (constructed after the tiles). */
+    std::unique_ptr<CoherenceProtocol> protocol_;
 
     // Event loop.
     using QEntry = std::pair<Cycle, CoreId>;
@@ -226,12 +165,6 @@ class Multicore
     std::vector<LockState> locks_;
     std::uint32_t barrierReleases_ = 0;
     Cycle statsStart_ = 0; //!< measurement epoch (after warm-up)
-
-    // Functional reference memory (word granularity).
-    bool checkFunctional_ = true;
-    std::uint64_t valueCounter_ = 0;
-    std::uint64_t functionalErrors_ = 0;
-    std::unordered_map<Addr, std::uint64_t> refMem_;
 };
 
 } // namespace lacc

@@ -422,4 +422,101 @@ runResultFromJson(const Json &j)
     return r;
 }
 
+// ---------------------------------------------------------------------------
+// Golden-hash stats signature (tests/test_determinism.cc)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/** Order-sensitive 64-bit FNV-1a accumulator over u64 words. */
+struct Digest
+{
+    std::uint64_t h = 14695981039346656037ULL;
+
+    void
+    add(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (i * 8)) & 0xFF;
+            h *= 1099511628211ULL;
+        }
+    }
+};
+
+void
+addCache(Digest &d, const CacheStats &c)
+{
+    d.add(c.loads);
+    d.add(c.stores);
+    d.add(c.loadMisses);
+    d.add(c.storeMisses);
+    d.add(c.evictions);
+    d.add(c.invalidationsRecv);
+    d.add(c.fills);
+}
+
+void
+addLatency(Digest &d, const LatencyBreakdown &l)
+{
+    d.add(l.compute);
+    d.add(l.l1ToL2);
+    d.add(l.l2Waiting);
+    d.add(l.l2Sharers);
+    d.add(l.offChip);
+    d.add(l.synchronization);
+}
+
+void
+addHist(Digest &d, const UtilizationHistogram &h)
+{
+    for (const auto v : h.counts)
+        d.add(v);
+}
+
+} // namespace
+
+std::uint64_t
+statsSignature(const SystemStats &stats)
+{
+    Digest d;
+    d.add(stats.perCore.size());
+    for (const auto &c : stats.perCore) {
+        d.add(c.instructions);
+        d.add(c.memReads);
+        d.add(c.memWrites);
+        d.add(c.ifetches);
+        d.add(c.finishTime);
+        addLatency(d, c.latency);
+        for (const auto m : c.misses.counts)
+            d.add(m);
+        addCache(d, c.l1i);
+        addCache(d, c.l1d);
+    }
+    addCache(d, stats.l2);
+    d.add(stats.network.unicasts);
+    d.add(stats.network.broadcasts);
+    d.add(stats.network.flitsInjected);
+    d.add(stats.network.flitHops);
+    d.add(stats.network.contentionCycles);
+    const ProtocolStats &p = stats.protocol;
+    d.add(p.privateReadGrants);
+    d.add(p.privateWriteGrants);
+    d.add(p.upgradeGrants);
+    d.add(p.remoteReads);
+    d.add(p.remoteWrites);
+    d.add(p.promotions);
+    d.add(p.demotions);
+    d.add(p.invalidationsSent);
+    d.add(p.broadcastInvals);
+    d.add(p.syncWritebacks);
+    d.add(p.dirtyWritebacks);
+    d.add(p.l2Evictions);
+    d.add(p.rehomeFlushes);
+    d.add(p.dramFetches);
+    d.add(p.dramWritebacks);
+    addHist(d, stats.evictionUtil);
+    addHist(d, stats.invalidationUtil);
+    return d.h;
+}
+
 } // namespace lacc

@@ -86,6 +86,21 @@ Json toJson(const RunResult &result);
  */
 RunResult runResultFromJson(const Json &j);
 
+/**
+ * Order-sensitive FNV-1a digest of every *integer* field of
+ * @p stats: per-core counters and latency breakdowns, the miss
+ * taxonomy, L2/network/protocol counters, and both utilization
+ * histograms. Energy (the only floating-point state) is deliberately
+ * excluded so the digest is identical across compilers and FP
+ * contraction settings; energy regressions are caught by the bench
+ * JSON goldens instead.
+ *
+ * Used by the golden-hash determinism test (tests/test_determinism.cc)
+ * that guards protocol refactors: any behavioral drift in the
+ * coherence engine changes the digest.
+ */
+std::uint64_t statsSignature(const SystemStats &stats);
+
 } // namespace lacc
 
 #endif // LACC_SYSTEM_REPORT_HH

@@ -3,8 +3,9 @@
  * One tile of the multicore (Fig 3): compute pipeline state, private
  * L1-I and L1-D caches, an L2 slice with the integrated directory, and
  * per-core statistics. The network router is shared infrastructure
- * (net/MeshNetwork); the directory state machine lives in
- * system/Multicore.
+ * (net/MeshNetwork); the directory state machine lives in the
+ * protocol layer (protocol/base.hh), which owns every mutation of the
+ * L2Meta directory entries embedded here.
  */
 
 #ifndef LACC_SYSTEM_TILE_HH
@@ -12,62 +13,15 @@
 
 #include <cstdint>
 #include <deque>
-#include <memory>
-#include <vector>
 
 #include "cache/miss_status.hh"
 #include "cache/set_assoc.hh"
-#include "core/classifier.hh"
-#include "dir/sharer_list.hh"
+#include "protocol/dir_entry.hh"
 #include "sim/config.hh"
 #include "sim/stats.hh"
 #include "workload/workload.hh"
 
 namespace lacc {
-
-/** Directory-visible state of an L2 line. */
-enum class DirState : std::uint8_t {
-    Uncached,  //!< no L1 holds a copy
-    Shared,    //!< >= 1 read-only L1 copies
-    Exclusive, //!< one L1 holds an E or M copy (owner)
-};
-
-/** Human-readable name for a DirState. */
-inline const char *
-dirStateName(DirState s)
-{
-    switch (s) {
-      case DirState::Uncached: return "U";
-      case DirState::Shared: return "S";
-      case DirState::Exclusive: return "E";
-      default: return "?";
-    }
-}
-
-/**
- * Per-line metadata of an L2 slice: directory entry (Fig 6/7) plus
- * simulator bookkeeping.
- */
-struct L2Meta
-{
-    DirState dstate = DirState::Uncached;
-    CoreId owner = kInvalidCore;   //!< valid iff dstate == Exclusive
-    SharerList sharers;            //!< protocol sharer tracking
-    /**
-     * Ground-truth holder identities (which L1s hold a copy). The
-     * protocol's SharerList may hide identities in ACKwise overflow
-     * mode; the simulator uses this oracle for invalidation *timing*
-     * (acks physically come from the actual holders) while protocol
-     * decisions (unicast vs broadcast, ack counts) use the SharerList.
-     */
-    std::vector<CoreId> holders;
-    std::unique_ptr<LineClassifierState> cls; //!< locality records
-    Cycle busyUntil = 0;           //!< per-line serialization window
-    bool dirty = false;            //!< L2 copy newer than DRAM
-};
-
-/** L2 slice array: hashed set index (see SetAssocCache). */
-using L2Cache = SetAssocCache<L2Meta, true>;
 
 /** Execution status of a core. */
 enum class CoreStatus : std::uint8_t {
@@ -101,7 +55,7 @@ class Tile
     CoreStatus status = CoreStatus::Runnable;
     std::deque<MemOp> pending;    //!< injected ops (lock handoffs ...)
 
-    // Instruction-stream walker (see Multicore::runCompute).
+    // Instruction-stream walker (see Multicore::advanceInstructions).
     std::uint32_t ifetchLine = 0;   //!< index into the code footprint
     std::uint32_t instrInLine = 0;  //!< instructions since line start
 

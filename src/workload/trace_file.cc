@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "sim/log.hh"
@@ -34,6 +35,73 @@ TraceWorkload::remaining(CoreId core) const
     return streams_[core].size() - pos_[core];
 }
 
+namespace {
+
+/**
+ * Strict decimal parse of a full token: every character must be a
+ * digit and the value must fit. Rejects the partial parses
+ * std::stoul would accept (e.g. "2x" -> 2, "-1" -> huge).
+ */
+bool
+parseDecimal(const std::string &tok, std::uint32_t &out)
+{
+    if (tok.empty() || tok.size() > 10)
+        return false;
+    std::uint64_t v = 0;
+    for (const char ch : tok) {
+        if (ch < '0' || ch > '9')
+            return false;
+        v = v * 10 + static_cast<std::uint64_t>(ch - '0');
+    }
+    if (v > std::numeric_limits<std::uint32_t>::max())
+        return false;
+    out = static_cast<std::uint32_t>(v);
+    return true;
+}
+
+/** Strict hex parse of a full token; an optional 0x prefix is fine. */
+bool
+parseHex(const std::string &tok, Addr &out)
+{
+    std::size_t i = 0;
+    if (tok.size() > 2 && tok[0] == '0' &&
+        (tok[1] == 'x' || tok[1] == 'X'))
+        i = 2;
+    if (i >= tok.size() || tok.size() - i > 16)
+        return false;
+    Addr v = 0;
+    for (; i < tok.size(); ++i) {
+        const char ch = tok[i];
+        std::uint32_t nibble = 0;
+        if (ch >= '0' && ch <= '9')
+            nibble = static_cast<std::uint32_t>(ch - '0');
+        else if (ch >= 'a' && ch <= 'f')
+            nibble = static_cast<std::uint32_t>(ch - 'a') + 10;
+        else if (ch >= 'A' && ch <= 'F')
+            nibble = static_cast<std::uint32_t>(ch - 'A') + 10;
+        else
+            return false;
+        v = (v << 4) | nibble;
+    }
+    out = v;
+    return true;
+}
+
+/**
+ * fatal() if the line stream still holds a non-comment token; a
+ * token starting with '#' comments out the rest of the line.
+ */
+void
+rejectTrailing(std::istringstream &ls, std::size_t line_no)
+{
+    std::string extra;
+    if ((ls >> extra) && extra[0] != '#')
+        fatal("trailing garbage '%s' at line %zu", extra.c_str(),
+              line_no);
+}
+
+} // namespace
+
 TraceWorkload
 TraceWorkload::parse(std::istream &in, std::string name)
 {
@@ -50,8 +118,15 @@ TraceWorkload::parse(std::istream &in, std::string name)
         std::string first;
         ls >> first;
         if (first == "trace") {
-            if (!(ls >> num_cores >> num_locks) || num_cores == 0)
-                fatal("trace header malformed at line %zu", line_no);
+            if (!streams.empty())
+                fatal("duplicate 'trace' header at line %zu", line_no);
+            std::string cores_tok, locks_tok;
+            if (!(ls >> cores_tok >> locks_tok) ||
+                !parseDecimal(cores_tok, num_cores) ||
+                !parseDecimal(locks_tok, num_locks) || num_cores == 0)
+                fatal("trace header malformed at line %zu (want"
+                      " 'trace <numCores> <numLocks>')", line_no);
+            rejectTrailing(ls, line_no);
             streams.assign(num_cores, {});
             continue;
         }
@@ -59,13 +134,12 @@ TraceWorkload::parse(std::istream &in, std::string name)
             fatal("trace body before 'trace' header (line %zu)", line_no);
 
         std::uint32_t core = 0;
-        try {
-            core = static_cast<std::uint32_t>(std::stoul(first));
-        } catch (...) {
-            fatal("bad core id '%s' at line %zu", first.c_str(), line_no);
-        }
+        if (!parseDecimal(first, core))
+            fatal("bad core id '%s' at line %zu (must be a decimal"
+                  " integer)", first.c_str(), line_no);
         if (core >= num_cores)
-            fatal("core id %u out of range at line %zu", core, line_no);
+            fatal("core id %u out of range at line %zu (trace has %u"
+                  " cores)", core, line_no, num_cores);
 
         std::string op;
         if (!(ls >> op))
@@ -77,12 +151,10 @@ TraceWorkload::parse(std::istream &in, std::string name)
             if (!(ls >> hex))
                 fatal("missing address at line %zu", line_no);
             Addr a = 0;
-            try {
-                a = std::stoull(hex, nullptr, 16);
-            } catch (...) {
-                fatal("bad address '%s' at line %zu", hex.c_str(),
+            if (!parseHex(hex, a))
+                fatal("bad address '%s' at line %zu (must be a hex"
+                      " address of at most 16 digits)", hex.c_str(),
                       line_no);
-            }
             if (op == "r")
                 stream.push_back(MemOp::read(a));
             else if (op == "w")
@@ -90,23 +162,34 @@ TraceWorkload::parse(std::istream &in, std::string name)
             else
                 stream.push_back(MemOp::ifetch(a));
         } else if (op == "c") {
+            std::string cnt;
             std::uint32_t n = 0;
-            if (!(ls >> n))
+            if (!(ls >> cnt))
                 fatal("missing cycle count at line %zu", line_no);
+            if (!parseDecimal(cnt, n))
+                fatal("bad cycle count '%s' at line %zu", cnt.c_str(),
+                      line_no);
             stream.push_back(MemOp::compute(n));
         } else if (op == "b") {
             stream.push_back(MemOp::barrier());
         } else if (op == "a" || op == "l") {
+            std::string id_tok;
             std::uint32_t id = 0;
-            if (!(ls >> id))
+            if (!(ls >> id_tok))
                 fatal("missing lock id at line %zu", line_no);
+            if (!parseDecimal(id_tok, id))
+                fatal("bad lock id '%s' at line %zu", id_tok.c_str(),
+                      line_no);
             if (id >= num_locks)
-                fatal("lock id %u out of range at line %zu", id, line_no);
+                fatal("lock id %u out of range at line %zu (trace has"
+                      " %u locks)", id, line_no, num_locks);
             stream.push_back(op == "a" ? MemOp::lockAcquire(id)
                                        : MemOp::lockRelease(id));
         } else {
-            fatal("unknown op '%s' at line %zu", op.c_str(), line_no);
+            fatal("unknown op '%s' at line %zu (know r/w/f/c/b/a/l)",
+                  op.c_str(), line_no);
         }
+        rejectTrailing(ls, line_no);
     }
     if (streams.empty())
         fatal("trace '%s' missing 'trace' header", name.c_str());

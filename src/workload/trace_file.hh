@@ -37,7 +37,14 @@ class TraceWorkload final : public Workload
                   std::vector<std::vector<MemOp>> streams,
                   std::uint32_t num_locks = 0);
 
-    /** Parse the text format from a stream; fatal() on bad syntax. */
+    /**
+     * Parse the text format from a stream. Parsing is strict:
+     * partially-numeric core ids / addresses / counts, out-of-range
+     * ids, unknown op tags, duplicate headers, and trailing garbage
+     * all fatal() with the offending line number — malformed traces
+     * are never silently skipped or misread. A '#' token comments
+     * out the rest of a line (full-line comments also supported).
+     */
     static TraceWorkload parse(std::istream &in, std::string name);
 
     /** Load from a file path. */

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Golden-hash determinism regression (guards protocol refactors).
+ *
+ * Runs one small mixed workload (all six archetypes + locks +
+ * barriers + ifetch walker) per classifier variant and compares the
+ * integer-field digest of the resulting SystemStats against committed
+ * golden values. The digest (system/report.hh statsSignature) covers
+ * every counter, clock, and histogram the simulator produces, so any
+ * behavioral drift in the coherence engine — intended or not — shows
+ * up here before it shows up in the paper figures.
+ *
+ * If a change is *meant* to alter protocol behavior, re-run this
+ * binary and update the goldens below with the printed values.
+ *
+ * A second group re-runs a grid through the harness sweep runner
+ * serially and with 4 worker threads and requires bit-identical
+ * digests (the `--jobs 4` determinism contract of lacc_bench).
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/registry.hh"
+#include "harness/runner.hh"
+#include "system/experiment.hh"
+#include "system/multicore.hh"
+#include "system/report.hh"
+#include "workload/archetypes.hh"
+
+namespace lacc {
+namespace {
+
+SystemConfig
+cfg8(ClassifierKind k)
+{
+    SystemConfig c;
+    c.numCores = 8;
+    c.meshWidth = 4;
+    c.clusterSize = 4;
+    c.numMemControllers = 2;
+    c.classifierKind = k;
+    return c;
+}
+
+/** Small mixed workload touching every archetype and sync primitive. */
+SyntheticSpec
+mixedSpec()
+{
+    SyntheticSpec s;
+    s.name = "determinism-mix";
+    s.numCores = 8;
+    s.mix.privateHot = 0.25;
+    s.mix.privateStream = 0.2;
+    s.mix.sharedRO = 0.2;
+    s.mix.sharedPC = 0.15;
+    s.mix.sharedStream = 0.1;
+    s.mix.lockRMW = 0.1;
+    s.roWriteFrac = 0.05;
+    s.sharingDegree = 4;
+    s.numLocks = 4;
+    s.opsPerPhase = 1200;
+    s.numPhases = 3;
+    s.iFootprintLines = 8;
+    return s;
+}
+
+std::uint64_t
+runSignature(ClassifierKind k)
+{
+    const SystemConfig cfg = cfg8(k);
+    SyntheticWorkload wl(mixedSpec(), cfg);
+    Multicore m(cfg);
+    const SystemStats &stats = m.run(wl);
+    EXPECT_EQ(m.functionalErrors(), 0u);
+    return statsSignature(stats);
+}
+
+struct Golden
+{
+    ClassifierKind kind;
+    const char *name;
+    std::uint64_t signature;
+};
+
+// Golden digests of the seed behavior. Regenerate by running this
+// test and copying the printed "actual" values.
+const Golden kGoldens[] = {
+    {ClassifierKind::Complete, "Complete", 0x12975edbf2f6aa50ULL},
+    {ClassifierKind::Limited, "Limited", 0x4a9d58c62567b5f4ULL},
+    {ClassifierKind::Timestamp, "Timestamp", 0xa5fd7979994d925aULL},
+    {ClassifierKind::AlwaysPrivate, "AlwaysPrivate",
+     0xffa1b2765227b05eULL},
+};
+
+TEST(Determinism, GoldenHashPerClassifierVariant)
+{
+    for (const auto &g : kGoldens) {
+        const std::uint64_t sig = runSignature(g.kind);
+        EXPECT_EQ(sig, g.signature)
+            << g.name << " stats signature drifted; actual 0x"
+            << std::hex << sig
+            << " — protocol behavior changed (update the golden only"
+               " if the change is intentional)";
+    }
+}
+
+TEST(Determinism, RepeatedRunsAreBitIdentical)
+{
+    EXPECT_EQ(runSignature(ClassifierKind::Limited),
+              runSignature(ClassifierKind::Limited));
+}
+
+TEST(Determinism, SweepRunnerSerialEqualsJobs4)
+{
+    std::vector<harness::Job> jobs;
+    for (const auto &g : kGoldens) {
+        SystemConfig cfg = defaultConfig();
+        cfg.classifierKind = g.kind;
+        jobs.push_back({"radix", cfg, std::string("det ") + g.name});
+    }
+
+    harness::SweepOptions serial;
+    serial.jobs = 1;
+    serial.opScale = 0.02;
+    serial.progress = false;
+    harness::SweepOptions parallel = serial;
+    parallel.jobs = 4;
+
+    const auto rs = harness::runSweep(jobs, serial);
+    const auto rp = harness::runSweep(jobs, parallel);
+    ASSERT_EQ(rs.size(), jobs.size());
+    ASSERT_EQ(rp.size(), jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        EXPECT_EQ(statsSignature(rs[i].result.stats),
+                  statsSignature(rp[i].result.stats))
+            << jobs[i].label;
+        EXPECT_EQ(rs[i].result.completionTime,
+                  rp[i].result.completionTime)
+            << jobs[i].label;
+    }
+}
+
+} // namespace
+} // namespace lacc

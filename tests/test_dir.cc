@@ -8,7 +8,8 @@
 
 #include <gtest/gtest.h>
 
-#include "dir/sharer_list.hh"
+#include "protocol/core_vec.hh"
+#include "protocol/sharer_list.hh"
 
 namespace lacc {
 namespace {
@@ -174,6 +175,84 @@ TEST(FullMap, IsFullMapFlag)
 {
     EXPECT_TRUE(SharerList::makeFullMap(4).isFullMap());
     EXPECT_FALSE(SharerList::makeAckwise(4).isFullMap());
+}
+
+
+// ---------------------------------------------------------------------------
+// SmallCoreVec: the small-buffer core-id helper behind SharerList's
+// ACKwise slots (sorted) and L2Meta::holders (grant-ordered).
+// ---------------------------------------------------------------------------
+
+TEST(SmallCoreVec, SortedInsertEraseContains)
+{
+    SortedCoreVec v;
+    EXPECT_TRUE(v.empty());
+    EXPECT_TRUE(v.insert(9));
+    EXPECT_TRUE(v.insert(3));
+    EXPECT_TRUE(v.insert(6));
+    EXPECT_FALSE(v.insert(6)); // set semantics
+    EXPECT_EQ(v.size(), 3u);
+    // Sorted iteration order regardless of insertion order.
+    EXPECT_EQ(v[0], 3);
+    EXPECT_EQ(v[1], 6);
+    EXPECT_EQ(v[2], 9);
+    EXPECT_TRUE(v.contains(6));
+    EXPECT_FALSE(v.contains(5));
+    EXPECT_TRUE(v.erase(6));
+    EXPECT_FALSE(v.erase(6));
+    EXPECT_EQ(v.size(), 2u);
+    EXPECT_EQ(v[1], 9);
+}
+
+TEST(SmallCoreVec, HolderFlavorPreservesGrantOrder)
+{
+    // Invalidation fan-out unicasts holders in grant order; with link
+    // contention the order shifts ack timing, so the holder flavor
+    // must never sort (protocol/core_vec.hh).
+    HolderVec v;
+    v.insert(9);
+    v.insert(3);
+    v.insert(6);
+    EXPECT_EQ(v[0], 9);
+    EXPECT_EQ(v[1], 3);
+    EXPECT_EQ(v[2], 6);
+    EXPECT_TRUE(v.erase(3));
+    EXPECT_EQ(v[0], 9);
+    EXPECT_EQ(v[1], 6);
+    EXPECT_TRUE(v.contains(9));
+    EXPECT_FALSE(v.contains(3));
+}
+
+TEST(SmallCoreVec, SpillsPastInlineCapacityAndClears)
+{
+    for (const bool front_heavy : {false, true}) {
+        HolderVec v;
+        const std::uint32_t n = SortedCoreVec::kInlineCap + 5;
+        for (std::uint32_t i = 0; i < n; ++i)
+            v.insert(static_cast<CoreId>(front_heavy ? n - 1 - i : i));
+        EXPECT_EQ(v.size(), n);
+        for (std::uint32_t i = 0; i < n; ++i)
+            EXPECT_TRUE(v.contains(static_cast<CoreId>(i)));
+        // Erase back below the inline capacity and keep going.
+        for (std::uint32_t i = 0; i < 6; ++i)
+            EXPECT_TRUE(v.erase(static_cast<CoreId>(i)));
+        EXPECT_EQ(v.size(), n - 6);
+        EXPECT_FALSE(v.contains(0));
+        EXPECT_TRUE(v.contains(static_cast<CoreId>(n - 1)));
+        v.clear();
+        EXPECT_TRUE(v.empty());
+        EXPECT_FALSE(v.contains(7));
+    }
+}
+
+TEST(SmallCoreVec, SortedSpillStaysSorted)
+{
+    SortedCoreVec v;
+    for (CoreId c = 20; c > 0; --c)
+        v.insert(c);
+    EXPECT_EQ(v.size(), 20u);
+    for (std::uint32_t i = 0; i + 1 < v.size(); ++i)
+        EXPECT_LT(v[i], v[i + 1]);
 }
 
 } // namespace

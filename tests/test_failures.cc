@@ -123,6 +123,92 @@ TEST(Failures, MalformedTraceIsFatal)
     }
 }
 
+TEST(Failures, PartiallyNumericTraceTokensAreFatal)
+{
+    {
+        // std::stoul would silently read "2x" as core 2.
+        std::istringstream is("trace 4 0\n2x r ff\n");
+        EXPECT_EXIT(TraceWorkload::parse(is, "x"),
+                    testing::ExitedWithCode(1), "bad core id");
+    }
+    {
+        // Negative core ids must not wrap to a huge unsigned value.
+        std::istringstream is("trace 4 0\n-1 r ff\n");
+        EXPECT_EXIT(TraceWorkload::parse(is, "x"),
+                    testing::ExitedWithCode(1), "bad core id");
+    }
+    {
+        // std::stoull would silently read "12zz" as address 0x12.
+        std::istringstream is("trace 1 0\n0 w 12zz\n");
+        EXPECT_EXIT(TraceWorkload::parse(is, "x"),
+                    testing::ExitedWithCode(1), "bad address");
+    }
+    {
+        // Addresses wider than 64 bits must not silently truncate.
+        std::istringstream is("trace 1 0\n0 r 12345678123456781\n");
+        EXPECT_EXIT(TraceWorkload::parse(is, "x"),
+                    testing::ExitedWithCode(1), "bad address");
+    }
+    {
+        std::istringstream is("trace 1 0\n0 c 5five\n");
+        EXPECT_EXIT(TraceWorkload::parse(is, "x"),
+                    testing::ExitedWithCode(1), "bad cycle count");
+    }
+    {
+        std::istringstream is("trace 1 1\n0 a 1one\n");
+        EXPECT_EXIT(TraceWorkload::parse(is, "x"),
+                    testing::ExitedWithCode(1), "bad lock id");
+    }
+}
+
+TEST(Failures, TraceTrailingGarbageIsFatal)
+{
+    {
+        // A forgotten field must not be silently dropped.
+        std::istringstream is("trace 2 0\n0 r ff extra\n");
+        EXPECT_EXIT(TraceWorkload::parse(is, "x"),
+                    testing::ExitedWithCode(1), "trailing garbage");
+    }
+    {
+        std::istringstream is("trace 2 0\n0 b 1\n"); // barrier + junk
+        EXPECT_EXIT(TraceWorkload::parse(is, "x"),
+                    testing::ExitedWithCode(1), "trailing garbage");
+    }
+    {
+        std::istringstream is("trace 2 0 7\n"); // header + junk
+        EXPECT_EXIT(TraceWorkload::parse(is, "x"),
+                    testing::ExitedWithCode(1), "trailing garbage");
+    }
+    {
+        std::istringstream is("trace 2 0\ntrace 2 0\n"); // two headers
+        EXPECT_EXIT(TraceWorkload::parse(is, "x"),
+                    testing::ExitedWithCode(1), "duplicate");
+    }
+}
+
+TEST(Failures, StrictTraceParserStillAcceptsValidInput)
+{
+    std::istringstream is("# comment\n"
+                          "trace 2 1\n"
+                          "0 r 0x1000 # inline comment\n"
+                          "0 w 1040\n"
+                          "1 f ABC0\n"
+                          "0 c 12\n"
+                          "1 b # barriers comment too\n"
+                          "0 b\n"
+                          "1 a 0\n"
+                          "1 l 0\n");
+    TraceWorkload w = TraceWorkload::parse(is, "ok");
+    EXPECT_EQ(w.numCores(), 2u);
+    EXPECT_EQ(w.numLocks(), 1u);
+    EXPECT_EQ(w.remaining(0), 4u);
+    EXPECT_EQ(w.remaining(1), 4u);
+    // 0x-prefixed and bare hex parse to the same address width rules.
+    const MemOp r = w.next(0);
+    EXPECT_EQ(r.kind, MemOp::Kind::Read);
+    EXPECT_EQ(r.addr, 0x1000u);
+}
+
 TEST(Failures, MissingTraceFileIsFatal)
 {
     EXPECT_EXIT(TraceWorkload::load("/nonexistent/path.trace"),
