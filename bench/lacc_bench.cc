@@ -7,7 +7,7 @@
  *
  * Usage:
  *   lacc_bench --list
- *   lacc_bench [--filter SUBSTR] [--jobs N] [--scale X]
+ *   lacc_bench [--filter SUBSTR] [--jobs N] [--scale X] [--repeat N]
  *              [--protocol NAME] [--json-dir DIR] [--quiet]
  */
 
@@ -46,6 +46,9 @@ usage(std::FILE *to)
         "  --jobs N          worker threads for the sweeps"
         " (default 1)\n"
         "  --scale X         op-count scale; overrides LACC_SCALE\n"
+        "  --repeat N        simulate every job N times (throughput\n"
+        "                    mode: stats are identical across repeats,\n"
+        "                    wall-clock/ops_per_sec fields accumulate)\n"
         "  --protocol NAME   force every run onto a named coherence\n"
         "                    protocol (lacc, fullmap)\n"
         "  --json-dir DIR    write BENCH_<experiment>.json into DIR\n"
@@ -111,6 +114,13 @@ main(int argc, char **argv)
             if (!parsePositiveDouble(value("--scale"), opts.opScale)) {
                 std::fprintf(stderr,
                              "--scale wants a positive number\n");
+                return 2;
+            }
+        } else if (arg == "--repeat") {
+            if (!parseUnsigned(value("--repeat"), opts.repeat)) {
+                std::fprintf(stderr,
+                             "--repeat wants an integer in"
+                             " [1, 1024]\n");
                 return 2;
             }
         } else if (arg == "--protocol") {

@@ -14,8 +14,8 @@
 #define LACC_CACHE_MISS_STATUS_HH
 
 #include <cstdint>
-#include <unordered_map>
 
+#include "sim/flat_map.hh"
 #include "sim/types.hh"
 
 namespace lacc {
@@ -24,6 +24,19 @@ namespace lacc {
 class MissStatusTracker
 {
   public:
+    MissStatusTracker() = default;
+
+    /**
+     * @param expected_lines pre-sizes the per-line event map (a small
+     *        multiple of the core's L1 capacity bounds the lines a
+     *        core loses and re-misses in steady state) so the hot
+     *        record/classify path does not rehash repeatedly.
+     */
+    explicit MissStatusTracker(std::size_t expected_lines)
+    {
+        last_.reserve(expected_lines);
+    }
+
     /** Last interaction of this core with a line it does not hold. */
     enum class LastEvent : std::uint8_t {
         None,           //!< never touched: next miss is Cold
@@ -45,10 +58,10 @@ class MissStatusTracker
     {
         if (is_write && present_read_only)
             return MissType::Upgrade;
-        auto it = last_.find(line);
-        if (it == last_.end())
+        const LastEvent *ev = last_.find(line);
+        if (ev == nullptr)
             return MissType::Cold;
-        switch (it->second) {
+        switch (*ev) {
           case LastEvent::Evicted: return MissType::Capacity;
           case LastEvent::Invalidated: return MissType::Sharing;
           case LastEvent::RemoteAccessed: return MissType::Word;
@@ -77,7 +90,10 @@ class MissStatusTracker
     std::size_t trackedLines() const { return last_.size(); }
 
   private:
-    std::unordered_map<LineAddr, LastEvent> last_;
+    // Flat open-addressing map: classify/record run on every L1 miss
+    // and eviction, so per-node allocation and bucket-pointer chasing
+    // are off the table (see sim/flat_map.hh).
+    FlatAddrMap<LastEvent> last_;
 };
 
 } // namespace lacc

@@ -7,6 +7,16 @@
  * words (64-bit) are stored per line so the simulator moves real values
  * through the protocol and can be checked functionally, mirroring the
  * paper's use of Graphite's functionally-correct memory system (§4.1).
+ *
+ * Memory layout: structure-of-arrays. The tag store lives in flat
+ * parallel arrays (valid / tag / lastAccess / meta) so the hot scans —
+ * find(), victimFor(), hasInvalidWay(), minLastAccess() — touch only
+ * the contiguous words they need instead of striding over full
+ * entries, and line data lives in one per-cache arena indexed by
+ * (set, way), so constructing a cache performs a fixed handful of
+ * allocations instead of one heap vector per line. Callers address an
+ * individual line through the lightweight Entry handle (cache pointer
+ * + slot index) returned by find()/victimFor().
  */
 
 #ifndef LACC_CACHE_SET_ASSOC_HH
@@ -24,6 +34,20 @@ namespace lacc {
 /** MESI-style state of a line in a private L1 cache. */
 enum class L1State : std::uint8_t { Invalid, Shared, Exclusive, Modified };
 
+/**
+ * Meta reset applied by SetAssocCache::invalidate. The default is a
+ * plain value reset; meta types that own reusable allocations (the L2
+ * directory meta's classifier state, protocol/dir_entry.hh) provide
+ * an overload found by ADL that clears protocol state while keeping
+ * the allocations for the next fill.
+ */
+template <typename Meta>
+inline void
+resetCacheMeta(Meta &m)
+{
+    m = Meta{};
+}
+
 /** Human-readable name for an L1State. */
 inline const char *
 l1StateName(L1State s)
@@ -35,16 +59,6 @@ l1StateName(L1State s)
       case L1State::Modified: return "M";
       default: return "?";
     }
-}
-
-/** Mixes line-address bits so interleaved homes do not alias L2 sets. */
-inline std::uint64_t
-mixLineAddr(std::uint64_t x)
-{
-    x ^= x >> 33;
-    x *= 0xff51afd7ed558ccdULL;
-    x ^= x >> 33;
-    return x;
 }
 
 /**
@@ -59,14 +73,70 @@ template <typename Meta, bool kHashSet = false>
 class SetAssocCache
 {
   public:
-    /** One tag-store entry. */
-    struct Entry
+    /**
+     * Handle to one (set, way) slot of the structure-of-arrays tag
+     * store. Copyable and cheap (pointer + index); a
+     * default-constructed handle is "null" (find() miss) and tests
+     * false. Accessors read/write the cache's parallel arrays; words()
+     * exposes this line's wordsPerLine()-sized slice of the data
+     * arena.
+     */
+    class Entry
     {
-        bool valid = false;
-        LineAddr tag = 0;          //!< full line address
-        Cycle lastAccess = 0;      //!< LRU + timestamp-check state
-        Meta meta{};
-        std::vector<std::uint64_t> words; //!< functional data
+      public:
+        Entry() = default;
+
+        /** True for a handle that refers to a slot (find() hit). */
+        explicit operator bool() const { return c_ != nullptr; }
+
+        /** Handles are equal when they name the same slot. */
+        bool operator==(const Entry &o) const
+        {
+            return c_ == o.c_ && i_ == o.i_;
+        }
+        bool operator!=(const Entry &o) const { return !(*this == o); }
+
+        bool valid() const { return c_->valid_[i_] != 0; }
+        void setValid(bool v) { c_->valid_[i_] = v ? 1 : 0; }
+
+        LineAddr tag() const { return c_->tags_[i_]; }
+        void setTag(LineAddr t) { c_->tags_[i_] = t; }
+
+        Cycle lastAccess() const { return c_->lastAccess_[i_]; }
+        void setLastAccess(Cycle t) { c_->lastAccess_[i_] = t; }
+
+        Meta &meta() const { return c_->meta_[i_]; }
+
+        /** This line's slice of the data arena (wordsPerLine() long). */
+        std::uint64_t *
+        words() const
+        {
+            return c_->words_.data() +
+                   static_cast<std::size_t>(i_) * c_->wordsPerLine_;
+        }
+
+        std::uint32_t wordsPerLine() const { return c_->wordsPerLine_; }
+
+        /** Copy one line of data (wordsPerLine() words) into the arena. */
+        void
+        fillWords(const std::uint64_t *src) const
+        {
+            std::copy_n(src, c_->wordsPerLine_, words());
+        }
+
+        /** Zero this line's slice of the arena. */
+        void
+        clearWords() const
+        {
+            std::fill_n(words(), c_->wordsPerLine_, std::uint64_t{0});
+        }
+
+      private:
+        friend class SetAssocCache;
+        Entry(SetAssocCache *c, std::size_t i) : c_(c), i_(i) {}
+
+        SetAssocCache *c_ = nullptr;
+        std::size_t i_ = 0;
     };
 
     /**
@@ -77,12 +147,15 @@ class SetAssocCache
     SetAssocCache(std::uint32_t sets, std::uint32_t assoc,
                   std::uint32_t words_per_line)
         : sets_(sets), assoc_(assoc), wordsPerLine_(words_per_line),
-          entries_(static_cast<std::size_t>(sets) * assoc)
+          valid_(static_cast<std::size_t>(sets) * assoc, 0),
+          tags_(static_cast<std::size_t>(sets) * assoc, 0),
+          lastAccess_(static_cast<std::size_t>(sets) * assoc, 0),
+          meta_(static_cast<std::size_t>(sets) * assoc),
+          words_(static_cast<std::size_t>(sets) * assoc * words_per_line,
+                 0)
     {
         if (sets == 0 || (sets & (sets - 1)) != 0)
             fatal("cache sets (%u) must be a power of two", sets);
-        for (auto &e : entries_)
-            e.words.assign(wordsPerLine_, 0);
     }
 
     std::uint32_t numSets() const { return sets_; }
@@ -100,23 +173,18 @@ class SetAssocCache
             return static_cast<std::uint32_t>(line & (sets_ - 1));
     }
 
-    /** @return the entry holding @p line, or nullptr. No LRU update. */
-    Entry *
-    find(LineAddr line)
-    {
-        const std::uint32_t set = setIndex(line);
-        for (std::uint32_t w = 0; w < assoc_; ++w) {
-            Entry &e = entryAt(set, w);
-            if (e.valid && e.tag == line)
-                return &e;
-        }
-        return nullptr;
-    }
-
-    const Entry *
+    /** @return a handle to the slot holding @p line, or a null handle.
+     *  No LRU update. Scans only the tag/valid arrays. */
+    Entry
     find(LineAddr line) const
     {
-        return const_cast<SetAssocCache *>(this)->find(line);
+        const std::size_t base =
+            static_cast<std::size_t>(setIndex(line)) * assoc_;
+        for (std::uint32_t w = 0; w < assoc_; ++w) {
+            if (tags_[base + w] == line && valid_[base + w])
+                return Entry{self(), base + w};
+        }
+        return Entry{};
     }
 
     /**
@@ -125,28 +193,33 @@ class SetAssocCache
      * The caller is responsible for handling the victim's contents
      * before overwriting (eviction notification, write-back).
      */
-    Entry &
-    victimFor(LineAddr line)
+    Entry
+    victimFor(LineAddr line) const
     {
-        const std::uint32_t set = setIndex(line);
-        Entry *lru = nullptr;
+        const std::size_t base =
+            static_cast<std::size_t>(setIndex(line)) * assoc_;
+        std::size_t lru = base;
+        bool have_lru = false;
         for (std::uint32_t w = 0; w < assoc_; ++w) {
-            Entry &e = entryAt(set, w);
-            if (!e.valid)
-                return e;
-            if (lru == nullptr || e.lastAccess < lru->lastAccess)
-                lru = &e;
+            if (!valid_[base + w])
+                return Entry{self(), base + w};
+            if (!have_lru ||
+                lastAccess_[base + w] < lastAccess_[lru]) {
+                lru = base + w;
+                have_lru = true;
+            }
         }
-        return *lru;
+        return Entry{self(), lru};
     }
 
     /** @return true if the set holding @p line has an invalid way. */
     bool
     hasInvalidWay(LineAddr line) const
     {
-        const std::uint32_t set = setIndex(line);
+        const std::size_t base =
+            static_cast<std::size_t>(setIndex(line)) * assoc_;
         for (std::uint32_t w = 0; w < assoc_; ++w) {
-            if (!entryAt(set, w).valid)
+            if (!valid_[base + w])
                 return true;
         }
         return false;
@@ -160,38 +233,39 @@ class SetAssocCache
     Cycle
     minLastAccess(LineAddr line) const
     {
-        const std::uint32_t set = setIndex(line);
+        const std::size_t base =
+            static_cast<std::size_t>(setIndex(line)) * assoc_;
         Cycle min_t = kNeverCycle;
         bool any = false;
         for (std::uint32_t w = 0; w < assoc_; ++w) {
-            const Entry &e = entryAt(set, w);
-            if (e.valid) {
+            if (valid_[base + w]) {
                 any = true;
-                if (e.lastAccess < min_t)
-                    min_t = e.lastAccess;
+                if (lastAccess_[base + w] < min_t)
+                    min_t = lastAccess_[base + w];
             }
         }
         return any ? min_t : 0;
     }
 
-    /** Reset an entry to invalid (metadata reset to default). */
+    /** Reset an entry to invalid (metadata reset via resetCacheMeta). */
     void
-    invalidate(Entry &e)
+    invalidate(Entry e)
     {
-        e.valid = false;
-        e.tag = 0;
-        e.lastAccess = 0;
-        e.meta = Meta{};
-        std::fill(e.words.begin(), e.words.end(), 0);
+        e.setValid(false);
+        e.setTag(0);
+        e.setLastAccess(0);
+        resetCacheMeta(e.meta());
+        e.clearWords();
     }
 
-    /** Apply @p fn to every entry (valid or not). */
+    /** Apply @p fn to an Entry handle for every slot (valid or not). */
     template <typename F>
     void
     forEach(F &&fn)
     {
-        for (auto &e : entries_)
-            fn(e);
+        const std::size_t n = valid_.size();
+        for (std::size_t i = 0; i < n; ++i)
+            fn(Entry{this, i});
     }
 
     /** Count of currently valid entries (test helper). */
@@ -199,29 +273,43 @@ class SetAssocCache
     validCount() const
     {
         std::uint64_t n = 0;
-        for (const auto &e : entries_)
-            if (e.valid)
-                ++n;
+        for (const auto v : valid_)
+            n += v != 0;
         return n;
     }
 
-    Entry &
-    entryAt(std::uint32_t set, std::uint32_t way)
-    {
-        return entries_[static_cast<std::size_t>(set) * assoc_ + way];
-    }
-
-    const Entry &
+    /** Handle to the slot at (@p set, @p way). */
+    Entry
     entryAt(std::uint32_t set, std::uint32_t way) const
     {
-        return entries_[static_cast<std::size_t>(set) * assoc_ + way];
+        return Entry{self(),
+                     static_cast<std::size_t>(set) * assoc_ + way};
     }
 
   private:
+    /**
+     * Handles mutate the arrays through a non-const cache pointer;
+     * lookups from a const cache are morally non-mutating (no LRU
+     * update), so the const_cast here mirrors the classic
+     * const-find-via-non-const idiom without duplicating every scan.
+     */
+    SetAssocCache *
+    self() const
+    {
+        return const_cast<SetAssocCache *>(this);
+    }
+
     std::uint32_t sets_;
     std::uint32_t assoc_;
     std::uint32_t wordsPerLine_;
-    std::vector<Entry> entries_;
+
+    // Parallel tag-store arrays (index = set * assoc + way).
+    std::vector<std::uint8_t> valid_;
+    std::vector<LineAddr> tags_;
+    std::vector<Cycle> lastAccess_;
+    std::vector<Meta> meta_;
+    /** Line-data arena: slot i owns words [i*wpl, (i+1)*wpl). */
+    std::vector<std::uint64_t> words_;
 };
 
 /**

@@ -89,6 +89,14 @@ class LocalityClassifier
     virtual std::unique_ptr<LineClassifierState> makeState() const = 0;
 
     /**
+     * Reset @p state in place to exactly the value a fresh
+     * makeState() returns. The refill path (an L2 slot being reused
+     * for a new line) calls this instead of re-allocating, so
+     * steady-state fills perform no classifier-state heap traffic.
+     */
+    virtual void resetState(LineClassifierState &state) const = 0;
+
+    /**
      * Current mode of @p core for this line, applying any tracking
      * side effects (entry allocation / majority vote in Limited_k).
      * Called once per directory transaction before choosing the

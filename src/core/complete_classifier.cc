@@ -1,11 +1,21 @@
 #include "core/complete_classifier.hh"
 
+#include <algorithm>
+
 namespace lacc {
 
 std::unique_ptr<LineClassifierState>
 CompleteClassifier::makeState() const
 {
     return std::make_unique<CompleteLineState>(numCores_);
+}
+
+void
+CompleteClassifier::resetState(LineClassifierState &state) const
+{
+    auto &s = static_cast<CompleteLineState &>(state);
+    std::fill(s.records.begin(), s.records.end(), CoreLocality{});
+    std::fill(s.touched.begin(), s.touched.end(), false);
 }
 
 Mode

@@ -41,6 +41,7 @@ class CompleteClassifier : public LocalityClassifier
     {}
 
     std::unique_ptr<LineClassifierState> makeState() const override;
+    void resetState(LineClassifierState &state) const override;
 
     Mode classify(LineClassifierState &state, CoreId core) override;
 
@@ -80,6 +81,8 @@ class AlwaysPrivateClassifier : public LocalityClassifier
         // the protocol free of null checks.
         return std::make_unique<LineClassifierState>();
     }
+
+    void resetState(LineClassifierState &) const override {}
 
     Mode
     classify(LineClassifierState &, CoreId) override

@@ -1,11 +1,21 @@
 #include "core/limited_classifier.hh"
 
+#include <algorithm>
+
 namespace lacc {
 
 std::unique_ptr<LineClassifierState>
 LimitedClassifier::makeState() const
 {
     return std::make_unique<LimitedLineState>(k_);
+}
+
+void
+LimitedClassifier::resetState(LineClassifierState &state) const
+{
+    auto &s = static_cast<LimitedLineState &>(state);
+    std::fill(s.slots.begin(), s.slots.end(),
+              LimitedLineState::Slot{});
 }
 
 Mode

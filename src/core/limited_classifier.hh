@@ -41,9 +41,43 @@ class LimitedLineState : public LineClassifierState
         CoreLocality rec;
     };
 
+    /**
+     * The k tracked slots, stored inline for k <= kInlineK (every
+     * in-repo configuration; Fig 13 sweeps k up to 7) so the hot
+     * classify/removal scans touch the state object's own cache
+     * lines instead of chasing a separate heap vector. Larger k
+     * spills to the heap.
+     */
+    class SlotArray
+    {
+      public:
+        static constexpr std::uint32_t kInlineK = 8;
+
+        explicit SlotArray(std::uint32_t k) : k_(k)
+        {
+            if (k_ > kInlineK)
+                spill_.resize(k_);
+        }
+
+        std::uint32_t size() const { return k_; }
+        Slot *begin() { return k_ <= kInlineK ? inline_ : spill_.data(); }
+        Slot *end() { return begin() + k_; }
+        const Slot *
+        begin() const
+        {
+            return k_ <= kInlineK ? inline_ : spill_.data();
+        }
+        const Slot *end() const { return begin() + k_; }
+
+      private:
+        std::uint32_t k_;
+        Slot inline_[kInlineK];
+        std::vector<Slot> spill_;
+    };
+
     explicit LimitedLineState(std::uint32_t k) : slots(k) {}
 
-    std::vector<Slot> slots;
+    SlotArray slots;
 };
 
 /** The Limited_k classifier. */
@@ -55,6 +89,7 @@ class LimitedClassifier : public LocalityClassifier
     {}
 
     std::unique_ptr<LineClassifierState> makeState() const override;
+    void resetState(LineClassifierState &state) const override;
 
     Mode classify(LineClassifierState &state, CoreId core) override;
 

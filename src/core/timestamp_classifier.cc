@@ -1,6 +1,15 @@
 #include "core/timestamp_classifier.hh"
 
+#include <algorithm>
+
 namespace lacc {
+
+void
+TimestampClassifier::resetState(LineClassifierState &state) const
+{
+    auto &s = static_cast<TimestampLineState &>(state);
+    std::fill(s.records.begin(), s.records.end(), CoreLocality{});
+}
 
 std::unique_ptr<LineClassifierState>
 TimestampClassifier::makeState() const

@@ -42,6 +42,7 @@ class TimestampClassifier : public LocalityClassifier
     {}
 
     std::unique_ptr<LineClassifierState> makeState() const override;
+    void resetState(LineClassifierState &state) const override;
 
     Mode classify(LineClassifierState &state, CoreId core) override;
 

@@ -5,8 +5,16 @@
 
 namespace lacc {
 
+namespace {
+
+/** Initial bucket reservation of the slab map (grows amortized). */
+constexpr std::size_t kInitialSlabLines = 1024;
+
+} // namespace
+
 DramModel::DramModel(const SystemConfig &cfg)
-    : numControllers_(cfg.numMemControllers), latency_(cfg.dramLatency)
+    : numControllers_(cfg.numMemControllers), latency_(cfg.dramLatency),
+      wordsPerLine_(cfg.wordsPerLine())
 {
     // 64 B line at 5 GB/s and 1 GHz: 64 / 5 = 12.8 -> 13 cycles.
     serialization_ = static_cast<Cycle>(std::ceil(
@@ -20,6 +28,8 @@ DramModel::DramModel(const SystemConfig &cfg)
         tiles_.push_back(
             static_cast<CoreId>(i * cfg.numCores / numControllers_));
     freeAt_.assign(numControllers_, 0);
+
+    slot_.reserve(kInitialSlabLines);
 }
 
 CoreId
@@ -43,21 +53,32 @@ DramModel::access(LineAddr line, Cycle start)
 }
 
 void
-DramModel::readLine(LineAddr line, std::vector<std::uint64_t> &out,
-                    std::uint32_t words_per_line) const
+DramModel::readLine(LineAddr line, std::uint64_t *out) const
 {
-    auto it = store_.find(line);
-    if (it == store_.end()) {
-        out.assign(words_per_line, 0);
+    const std::uint32_t *idx = slot_.find(line);
+    if (idx == nullptr) {
+        std::fill_n(out, wordsPerLine_, std::uint64_t{0});
         return;
     }
-    out = it->second;
+    std::copy_n(pool_.data() +
+                    static_cast<std::size_t>(*idx) * wordsPerLine_,
+                wordsPerLine_, out);
 }
 
 void
-DramModel::writeLine(LineAddr line, const std::vector<std::uint64_t> &in)
+DramModel::writeLine(LineAddr line, const std::uint64_t *in)
 {
-    store_[line] = in;
+    std::uint32_t idx;
+    if (const std::uint32_t *found = slot_.find(line)) {
+        idx = *found;
+    } else {
+        idx = static_cast<std::uint32_t>(slot_.size());
+        slot_[line] = idx;
+        pool_.resize(pool_.size() + wordsPerLine_);
+    }
+    std::copy_n(in, wordsPerLine_,
+                pool_.data() +
+                    static_cast<std::size_t>(idx) * wordsPerLine_);
 }
 
 } // namespace lacc

@@ -8,16 +8,22 @@
  * at 1 GHz). Queueing delay due to finite off-chip bandwidth is
  * reported so it can be attributed to the L2Cache-OffChip completion
  * time component (§4.4).
+ *
+ * Functional storage is a line-granular slab arena: a mix-hashed map
+ * from line address to a slot index into one contiguous data pool, so
+ * a write-back costs at most one amortized pool grow instead of a heap
+ * vector per touched line, and repeated fetch/write-back of the same
+ * line is allocation-free.
  */
 
 #ifndef LACC_DRAM_DRAM_HH
 #define LACC_DRAM_DRAM_HH
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "sim/config.hh"
+#include "sim/flat_map.hh"
 #include "sim/types.hh"
 
 namespace lacc {
@@ -40,12 +46,20 @@ class DramModel
      */
     Cycle access(LineAddr line, Cycle start);
 
-    /** Functional read of a line (zero-filled when untouched). */
-    void readLine(LineAddr line, std::vector<std::uint64_t> &out,
-                  std::uint32_t words_per_line) const;
+    /**
+     * Functional read of a line (zero-filled when untouched) into
+     * @p out, which must hold wordsPerLine() words.
+     */
+    void readLine(LineAddr line, std::uint64_t *out) const;
 
-    /** Functional write of a line. */
-    void writeLine(LineAddr line, const std::vector<std::uint64_t> &in);
+    /** Functional write of a line (wordsPerLine() words from @p in). */
+    void writeLine(LineAddr line, const std::uint64_t *in);
+
+    /** 64-bit words stored per line (from the construction config). */
+    std::uint32_t wordsPerLine() const { return wordsPerLine_; }
+
+    /** Lines currently backed by a pool slot (test helper). */
+    std::size_t storedLines() const { return slot_.size(); }
 
     /** Total bandwidth-queueing cycles across controllers. */
     std::uint64_t queueingCycles() const { return queueingCycles_; }
@@ -63,13 +77,16 @@ class DramModel
     std::uint32_t numControllers_;
     Cycle latency_;
     Cycle serialization_; //!< cycles one line occupies a controller
+    std::uint32_t wordsPerLine_;
 
     std::vector<CoreId> tiles_;
     std::vector<Cycle> freeAt_;
     std::uint64_t queueingCycles_ = 0;
     std::uint64_t accesses_ = 0;
 
-    std::unordered_map<LineAddr, std::vector<std::uint64_t>> store_;
+    // Slab arena: line -> slot index into the contiguous pool.
+    FlatAddrMap<std::uint32_t> slot_;
+    std::vector<std::uint64_t> pool_; //!< slot i at [i*wpl, (i+1)*wpl)
 };
 
 } // namespace lacc

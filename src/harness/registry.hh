@@ -40,8 +40,25 @@ struct Job
 struct JobResult
 {
     Job job;
+    /** Result of the job's (identical) repeats; see repeats below. */
     RunResult result;
+    /** Wall clock summed over all repeats of this job. */
     double wallSeconds = 0.0;
+    /** Times the job was simulated (SweepOptions::repeat). */
+    std::uint32_t repeats = 1;
+
+    /**
+     * Simulated operations per wall second over this job's repeats
+     * (0 when no wall time was recorded).
+     */
+    double
+    opsPerSecond() const
+    {
+        return wallSeconds > 0.0
+                   ? static_cast<double>(result.simOps) * repeats /
+                         wallSeconds
+                   : 0.0;
+    }
 };
 
 /** Everything a report function needs to format its outputs. */

@@ -57,6 +57,7 @@ runSweep(const std::vector<Job> &jobs, const SweepOptions &opts)
         }
     }
 
+    const unsigned repeat = opts.effectiveRepeat();
     std::atomic<std::size_t> next{0};
 
     const auto worker = [&] {
@@ -70,9 +71,14 @@ runSweep(const std::vector<Job> &jobs, const SweepOptions &opts)
                 applyProtocolName(job.cfg, opts.protocol);
             if (opts.progress)
                 std::fprintf(stderr, "[bench] %s\n", job.label.c_str());
+            // Repeats are bit-identical (deterministic simulation);
+            // keep the first result, accumulate only wall clock.
             const auto start = Clock::now();
             RunResult r = runBenchmark(job.bench, job.cfg, scale);
-            out[i] = JobResult{job, std::move(r), secondsSince(start)};
+            for (unsigned rep = 1; rep < repeat; ++rep)
+                runBenchmark(job.bench, job.cfg, scale);
+            out[i] = JobResult{job, std::move(r), secondsSince(start),
+                               repeat};
         }
     };
 

@@ -27,15 +27,34 @@ banner(std::ostream &os, const Experiment &exp)
 Json
 documentFor(const ExperimentOutcome &outcome)
 {
+    // Throughput aggregates. sim_ops keeps ONE unit at both document
+    // levels: ops of a single pass over the sweep (top level == sum of
+    // the per-run sim_ops, at any --repeat). ops_per_sec accounts for
+    // the repeats explicitly against the summed simulation wall
+    // (report formatting excluded).
+    std::uint64_t total_ops = 0;
+    double sim_wall = 0.0;
+    for (const auto &jr : outcome.results) {
+        total_ops += jr.result.simOps;
+        sim_wall += jr.wallSeconds;
+    }
+
     Json doc = Json::object();
     doc["schema_version"] = kBenchJsonSchemaVersion;
     doc["experiment"] = outcome.exp->name;
     doc["title"] = outcome.exp->title;
     doc["description"] = outcome.exp->description;
     doc["op_scale"] = outcome.opScale;
+    doc["repeat"] = static_cast<std::uint64_t>(outcome.repeat);
     doc["jobs"] =
         static_cast<std::uint64_t>(outcome.results.size());
     doc["wall_seconds"] = outcome.wallSeconds;
+    doc["sim_ops"] = total_ops;
+    doc["wall_ms"] = outcome.wallSeconds * 1e3;
+    doc["ops_per_sec"] =
+        sim_wall > 0.0
+            ? static_cast<double>(total_ops) * outcome.repeat / sim_wall
+            : 0.0;
     doc["figure"] = outcome.figure;
 
     Json runs = Json::array();
@@ -44,6 +63,9 @@ documentFor(const ExperimentOutcome &outcome)
         run["label"] = jr.job.label;
         run["bench"] = jr.job.bench;
         run["wall_seconds"] = jr.wallSeconds;
+        run["sim_ops"] = jr.result.simOps;
+        run["wall_ms"] = jr.wallSeconds * 1e3;
+        run["ops_per_sec"] = jr.opsPerSecond();
         run["config"] = toJson(jr.job.cfg);
         run["result"] = toJson(jr.result);
         runs.push(std::move(run));
@@ -81,6 +103,7 @@ runExperiment(const Experiment &exp, const SweepOptions &opts,
     ExperimentOutcome outcome;
     outcome.exp = &exp;
     outcome.opScale = resolveOpScale(opts);
+    outcome.repeat = opts.effectiveRepeat();
     banner(text_out, exp);
     outcome.results = runSweep(exp.makeJobs(), opts);
 

@@ -8,15 +8,25 @@
  * Document layout (docs/BENCHMARKS.md has the full schema):
  *
  *   {
- *     "schema_version": 1,
+ *     "schema_version": 2,
  *     "experiment": "fig08",
  *     "title": "...", "description": "...",
- *     "op_scale": 1.0,
+ *     "op_scale": 1.0, "repeat": 1,
  *     "jobs": 168, "wall_seconds": 12.3,
+ *     "sim_ops": 123456, "wall_ms": 12300.0, "ops_per_sec": 1.0e7,
  *     "figure": { ... experiment-specific, incl. "table" ... },
  *     "runs": [ {"label", "bench", "wall_seconds",
+ *                "sim_ops", "wall_ms", "ops_per_sec",
  *                "config": {...}, "result": {...}}, ... ]
  *   }
+ *
+ * Throughput fields (schema v2): sim_ops counts the simulated
+ * operations of ONE pass over the sweep at both document levels (the
+ * top-level value equals the sum of the per-run values at any
+ * --repeat), wall_ms is the wall clock in milliseconds, and
+ * ops_per_sec multiplies the repeats back in: sim_ops * repeat /
+ * simulation wall seconds (the top-level rate divides by the sum of
+ * per-run walls, excluding report formatting).
  */
 
 #ifndef LACC_HARNESS_SINK_HH
@@ -38,6 +48,7 @@ struct ExperimentOutcome
     std::vector<JobResult> results;
     Json figure;
     double opScale = 1.0;
+    unsigned repeat = 1;      //!< repeats per job (throughput mode)
     double wallSeconds = 0.0; //!< whole sweep incl. report
 };
 

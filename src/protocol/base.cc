@@ -14,16 +14,6 @@
 
 namespace lacc {
 
-namespace {
-
-void
-eraseTarget(std::vector<CoreId> &v, CoreId c)
-{
-    v.erase(std::remove(v.begin(), v.end(), c), v.end());
-}
-
-} // namespace
-
 // ---------------------------------------------------------------------------
 // BaseL1Controller
 // ---------------------------------------------------------------------------
@@ -49,30 +39,30 @@ BaseL1Controller::access(CoreId c, Addr addr, bool is_write,
     else
         ++cs.loads;
 
-    auto *e = l1.find(line);
-    const bool writable = e != nullptr &&
-                          (e->meta.state == L1State::Exclusive ||
-                           e->meta.state == L1State::Modified);
-    if (e != nullptr && (!is_write || writable)) {
+    auto e = l1.find(line);
+    const bool writable = e &&
+                          (e.meta().state == L1State::Exclusive ||
+                           e.meta().state == L1State::Modified);
+    if (e && (!is_write || writable)) {
         // L1 hit. Writes to an E copy silently upgrade to M.
         if (is_write) {
-            e->meta.state = L1State::Modified;
+            e.meta().state = L1State::Modified;
             const std::uint64_t v = ctx_.mem.nextValue();
-            e->words[word] = v;
+            e.words()[word] = v;
             ctx_.mem.write(addr, v);
         } else {
-            ctx_.mem.checkRead(addr, e->words[word]);
+            ctx_.mem.checkRead(addr, e.words()[word]);
         }
-        e->lastAccess = tl.now;
-        if (e->meta.privateUtil < kPrivateUtilCap)
-            ++e->meta.privateUtil;
+        e.setLastAccess(tl.now);
+        if (e.meta().privateUtil < kPrivateUtilCap)
+            ++e.meta().privateUtil;
         tl.stats.latency.compute += ctx_.cfg.l1Latency;
         tl.now += ctx_.cfg.l1Latency;
         return;
     }
 
-    const bool upgrade = e != nullptr &&
-                         e->meta.state == L1State::Shared && is_write;
+    const bool upgrade = e &&
+                         e.meta().state == L1State::Shared && is_write;
     if (!is_ifetch) {
         tl.stats.misses.record(
             tl.missTracker.classify(line, is_write, upgrade));
@@ -91,33 +81,32 @@ bool
 BaseL1Controller::touchResidentIfetch(CoreId c, Addr addr)
 {
     Tile &tl = *ctx_.tiles[c];
-    auto *e = tl.l1i.find(ctx_.addr.lineOf(addr));
-    if (e == nullptr)
+    auto e = tl.l1i.find(ctx_.addr.lineOf(addr));
+    if (!e)
         return false;
-    e->lastAccess = tl.now;
-    if (e->meta.privateUtil < kPrivateUtilCap)
-        ++e->meta.privateUtil;
+    e.setLastAccess(tl.now);
+    if (e.meta().privateUtil < kPrivateUtilCap)
+        ++e.meta().privateUtil;
     ++tl.stats.l1i.loads;
     return true;
 }
 
-L1Cache::Entry &
+L1Cache::Entry
 BaseL1Controller::fill(CoreId c, bool is_ifetch, LineAddr line,
-                       const std::vector<std::uint64_t> &words,
-                       L1State st, Cycle t)
+                       const std::uint64_t *words, L1State st, Cycle t)
 {
     Tile &tl = *ctx_.tiles[c];
     L1Cache &l1 = is_ifetch ? tl.l1i : tl.l1d;
-    auto &victim = l1.victimFor(line);
-    if (victim.valid)
+    auto victim = l1.victimFor(line);
+    if (victim.valid())
         evict(c, is_ifetch, victim, t);
 
-    victim.valid = true;
-    victim.tag = line;
-    victim.lastAccess = t;
-    victim.meta.state = st;
-    victim.meta.privateUtil = 1; // §3.2: initialized to 1 on fill
-    victim.words = words;
+    victim.setValid(true);
+    victim.setTag(line);
+    victim.setLastAccess(t);
+    victim.meta().state = st;
+    victim.meta().privateUtil = 1; // §3.2: initialized to 1 on fill
+    victim.fillWords(words);
     if (is_ifetch) {
         ++tl.stats.l1i.fills;
         ctx_.energy.addL1iFill();
@@ -134,24 +123,24 @@ BaseL1Controller::applyUpgrade(CoreId c, bool is_ifetch, LineAddr line,
 {
     Tile &tl = *ctx_.tiles[c];
     L1Cache &l1 = is_ifetch ? tl.l1i : tl.l1d;
-    auto *le = l1.find(line);
-    if (le == nullptr)
+    auto le = l1.find(line);
+    if (!le)
         panic("upgrade requester lost its line");
-    le->meta.state = L1State::Modified;
-    le->words[word] = val;
-    le->lastAccess = tl.now;
-    if (le->meta.privateUtil < kPrivateUtilCap)
-        ++le->meta.privateUtil;
+    le.meta().state = L1State::Modified;
+    le.words()[word] = val;
+    le.setLastAccess(tl.now);
+    if (le.meta().privateUtil < kPrivateUtilCap)
+        ++le.meta().privateUtil;
 }
 
 void
-BaseL1Controller::evict(CoreId c, bool is_ifetch,
-                        L1Cache::Entry &victim, Cycle t)
+BaseL1Controller::evict(CoreId c, bool is_ifetch, L1Cache::Entry victim,
+                        Cycle t)
 {
     Tile &tl = *ctx_.tiles[c];
-    const LineAddr line = victim.tag;
-    const std::uint32_t util = victim.meta.privateUtil;
-    const bool was_m = victim.meta.state == L1State::Modified;
+    const LineAddr line = victim.tag();
+    const std::uint32_t util = victim.meta().privateUtil;
+    const bool was_m = victim.meta().state == L1State::Modified;
 
     const CoreId home = dir_->homeOf(line, c);
     ctx_.stats.evictionUtil.record(util);
@@ -163,7 +152,7 @@ BaseL1Controller::evict(CoreId c, bool is_ifetch,
     // ifetched and read as data); the directory must then keep
     // tracking it as a holder.
     const L1Cache &other = is_ifetch ? tl.l1d : tl.l1i;
-    const bool still_holds = other.find(line) != nullptr;
+    const bool still_holds = static_cast<bool>(other.find(line));
 
     // Eviction notice (fire-and-forget): the utilization counter rides
     // in the header (§3.6); a dirty line carries the data.
@@ -171,13 +160,15 @@ BaseL1Controller::evict(CoreId c, bool is_ifetch,
                    was_m ? MsgPayload::Line : MsgPayload::None};
     ctx_.net.send(notice, t);
 
-    dir_->evictionNotice(home, c, line, was_m, victim.words, util,
+    // The victim slot is overwritten only after the notice completes,
+    // so handing its arena slice down by pointer is safe.
+    dir_->evictionNotice(home, c, line, was_m, victim.words(), util,
                          still_holds);
 }
 
 DropResult
-BaseL1Controller::dropCopy(CoreId s, LineAddr line,
-                           L2Cache::Entry &entry, bool l2_eviction)
+BaseL1Controller::dropCopy(CoreId s, LineAddr line, L2Cache::Entry entry,
+                           bool l2_eviction)
 {
     Tile &st = *ctx_.tiles[s];
     DropResult res{};
@@ -188,16 +179,16 @@ BaseL1Controller::dropCopy(CoreId s, LineAddr line,
     // every copy the core has.
     for (const bool is_i : {false, true}) {
         L1Cache *l1 = is_i ? &st.l1i : &st.l1d;
-        auto *e = l1->find(line);
-        if (e == nullptr)
+        auto e = l1->find(line);
+        if (!e)
             continue;
         found = true;
 
-        const std::uint32_t util = e->meta.privateUtil;
-        const bool was_m = e->meta.state == L1State::Modified;
+        const std::uint32_t util = e.meta().privateUtil;
+        const bool was_m = e.meta().state == L1State::Modified;
         if (was_m) {
-            entry.words = e->words;
-            entry.meta.dirty = true;
+            entry.fillWords(e.words());
+            entry.meta().dirty = true;
             ++ctx_.stats.protocol.syncWritebacks;
         }
 
@@ -209,7 +200,7 @@ BaseL1Controller::dropCopy(CoreId s, LineAddr line,
                 st.missTracker.onInvalidation(line);
         }
 
-        l1->invalidate(*e);
+        l1->invalidate(e);
         if (is_i) {
             ++st.stats.l1i.invalidationsRecv;
             ctx_.energy.addL1iTagOnly();
@@ -227,26 +218,23 @@ BaseL1Controller::dropCopy(CoreId s, LineAddr line,
 }
 
 bool
-BaseL1Controller::downgradeCopy(CoreId owner, L2Cache::Entry &entry)
+BaseL1Controller::downgradeCopy(CoreId owner, L2Cache::Entry entry)
 {
     Tile &ot = *ctx_.tiles[owner];
-    L1Cache *l1 = &ot.l1d;
-    auto *e = l1->find(entry.tag);
-    if (e == nullptr) {
-        l1 = &ot.l1i;
-        e = l1->find(entry.tag);
-    }
-    if (e == nullptr)
+    auto e = ot.l1d.find(entry.tag());
+    if (!e)
+        e = ot.l1i.find(entry.tag());
+    if (!e)
         panic("owner oracle mismatch on line %llx",
-              static_cast<unsigned long long>(entry.tag));
+              static_cast<unsigned long long>(entry.tag()));
 
-    const bool was_m = e->meta.state == L1State::Modified;
+    const bool was_m = e.meta().state == L1State::Modified;
     if (was_m) {
-        entry.words = e->words;
-        entry.meta.dirty = true;
+        entry.fillWords(e.words());
+        entry.meta().dirty = true;
         ctx_.energy.addL2Line();
     }
-    e->meta.state = L1State::Shared; // downgrade; owner keeps its copy
+    e.meta().state = L1State::Shared; // downgrade; owner keeps its copy
     ctx_.energy.addL1dAccess();
     return was_m;
 }
@@ -256,13 +244,13 @@ BaseL1Controller::dropOtherCopy(CoreId c, bool is_ifetch, LineAddr line)
 {
     Tile &tl = *ctx_.tiles[c];
     L1Cache &other = is_ifetch ? tl.l1d : tl.l1i;
-    auto *e = other.find(line);
-    if (e == nullptr)
+    auto e = other.find(line);
+    if (!e)
         return false;
-    if (e->meta.state == L1State::Modified)
+    if (e.meta().state == L1State::Modified)
         panic("stale dual copy of line %llx is Modified",
               static_cast<unsigned long long>(line));
-    other.invalidate(*e);
+    other.invalidate(e);
     if (is_ifetch)
         ctx_.energy.addL1dTagOnly();
     else
@@ -289,14 +277,14 @@ BaseDirectoryController::homeOf(LineAddr line, CoreId requester) const
     return ctx_.placement.home(line, *rec, requester);
 }
 
-L2Cache::Entry *
+L2Cache::Entry
 BaseDirectoryController::l2FindOrFill(CoreId home, LineAddr line,
                                       Cycle t_arr, Cycle &t_ready,
                                       Cycle &waiting, Cycle &offchip)
 {
     Tile &ht = *ctx_.tiles[home];
-    if (auto *e = ht.l2.find(line)) {
-        const Cycle t2 = std::max(t_arr, e->meta.busyUntil);
+    if (auto e = ht.l2.find(line)) {
+        const Cycle t2 = std::max(t_arr, e.meta().busyUntil);
         waiting = t2 - t_arr;
         offchip = 0;
         t_ready = t2 + ctx_.cfg.l2Latency;
@@ -317,26 +305,34 @@ BaseDirectoryController::l2FindOrFill(CoreId home, LineAddr line,
     offchip = t_back - t_tag;
     ++ctx_.stats.protocol.dramFetches;
 
-    auto &victim = ht.l2.victimFor(line);
-    if (victim.valid)
+    auto victim = ht.l2.victimFor(line);
+    if (victim.valid())
         l2Evict(home, victim, t_back);
 
-    victim.valid = true;
-    victim.tag = line;
-    victim.lastAccess = t_back;
-    victim.meta.dstate = DirState::Uncached;
-    victim.meta.owner = kInvalidCore;
-    victim.meta.sharers = makeSharers();
-    victim.meta.holders.clear();
-    victim.meta.cls = classifier_->makeState();
-    victim.meta.busyUntil = t_back;
-    victim.meta.dirty = false;
-    ctx_.dram.readLine(line, victim.words, ctx_.cfg.wordsPerLine());
+    victim.setValid(true);
+    victim.setTag(line);
+    victim.setLastAccess(t_back);
+    victim.meta().dstate = DirState::Uncached;
+    victim.meta().owner = kInvalidCore;
+    victim.meta().holders.clear();
+    if (victim.meta().cls) {
+        // Refill of a previously used slot: reset the classifier
+        // state and sharer list in place — same values a fresh
+        // makeState()/makeSharers() would produce, no allocation.
+        classifier_->resetState(*victim.meta().cls);
+        victim.meta().sharers.clear();
+    } else {
+        victim.meta().sharers = makeSharers();
+        victim.meta().cls = classifier_->makeState();
+    }
+    victim.meta().busyUntil = t_back;
+    victim.meta().dirty = false;
+    ctx_.dram.readLine(line, victim.words());
     ctx_.energy.addL2Line(); // fill write
     ++ctx_.stats.l2.fills;
 
     t_ready = t_back;
-    return &victim;
+    return victim;
 }
 
 void
@@ -367,14 +363,14 @@ BaseDirectoryController::request(CoreId c, Addr addr, bool is_write,
     const Cycle t1 = ctx_.net.send(req, t_inj);
 
     Cycle t_ready = 0, waiting = 0, offchip = 0;
-    L2Cache::Entry *entry =
+    L2Cache::Entry entry =
         l2FindOrFill(home, line, t1, t_ready, waiting, offchip);
-    entry->lastAccess = t_ready;
+    entry.setLastAccess(t_ready);
     ctx_.energy.addDirAccess();
 
     const Mode mode = upgrade
                           ? Mode::Private
-                          : classifier_->classify(*entry->meta.cls, c);
+                          : classifier_->classify(*entry.meta().cls, c);
     const RemoteAccessContext rctx{t_ready, hint.hasInvalidWay,
                                    hint.minLastAccess};
 
@@ -385,13 +381,13 @@ BaseDirectoryController::request(CoreId c, Addr addr, bool is_write,
         const std::uint64_t val = ctx_.mem.nextValue();
         // A write resets the remote utilization of all other remote
         // sharers (§3.2) and invalidates all private sharers.
-        classifier_->onWriteByOther(*entry->meta.cls, c);
-        t_shar = invalidateHolders(home, *entry, c, t_ready);
+        classifier_->onWriteByOther(*entry.meta().cls, c);
+        t_shar = invalidateHolders(home, entry, c, t_ready);
 
         bool promote = false;
         if (mode == Mode::Remote) {
             promote =
-                classifier_->onRemoteAccess(*entry->meta.cls, c, rctx);
+                classifier_->onRemoteAccess(*entry.meta().cls, c, rctx);
             if (promote)
                 ++ctx_.stats.protocol.promotions;
         }
@@ -403,10 +399,10 @@ BaseDirectoryController::request(CoreId c, Addr addr, bool is_write,
                 ++ctx_.stats.protocol.upgradeGrants;
                 ctx_.energy.addL2TagOnly();
             } else {
-                L1Cache::Entry &fe =
-                    l1_->fill(c, is_ifetch, line, entry->words,
+                L1Cache::Entry fe =
+                    l1_->fill(c, is_ifetch, line, entry.words(),
                               L1State::Modified, t_shar);
-                fe.words[word] = val;
+                fe.words()[word] = val;
                 ++ctx_.stats.protocol.privateWriteGrants;
                 ctx_.energy.addL2Line();
                 ++ctx_.stats.l2.loads;
@@ -415,16 +411,16 @@ BaseDirectoryController::request(CoreId c, Addr addr, bool is_write,
             // other L1 after the write: drop it locally.
             l1_->dropOtherCopy(c, is_ifetch, line);
             ctx_.mem.write(addr, val);
-            entry->meta.holders.insert(c); // set semantics: no dup
-            entry->meta.sharers.clear();
-            entry->meta.sharers.add(c);
-            entry->meta.dstate = DirState::Exclusive;
-            entry->meta.owner = c;
-            classifier_->onPrivateGrant(*entry->meta.cls, c, t_ready);
+            entry.meta().holders.insert(c); // set semantics: no dup
+            entry.meta().sharers.clear();
+            entry.meta().sharers.add(c);
+            entry.meta().dstate = DirState::Exclusive;
+            entry.meta().owner = c;
+            classifier_->onPrivateGrant(*entry.meta().cls, c, t_ready);
         } else {
             // Remote word write: stored at the L2 home (§3.2).
-            entry->words[word] = val;
-            entry->meta.dirty = true;
+            entry.words()[word] = val;
+            entry.meta().dirty = true;
             ctx_.mem.write(addr, val);
             ++ctx_.stats.protocol.remoteWrites;
             ++ctx_.stats.l2.stores;
@@ -434,11 +430,11 @@ BaseDirectoryController::request(CoreId c, Addr addr, bool is_write,
             // A remote writer keeps no private copy: its stale copy
             // in the other L1 (dual-copy line) must go too.
             if (l1_->dropOtherCopy(c, is_ifetch, line)) {
-                if (entry->meta.holders.erase(c))
-                    entry->meta.sharers.remove(c);
-                if (entry->meta.holders.empty()) {
-                    entry->meta.dstate = DirState::Uncached;
-                    entry->meta.owner = kInvalidCore;
+                if (entry.meta().holders.erase(c))
+                    entry.meta().sharers.remove(c);
+                if (entry.meta().holders.empty()) {
+                    entry.meta().dstate = DirState::Uncached;
+                    entry.meta().owner = kInvalidCore;
                 }
             }
         }
@@ -446,52 +442,52 @@ BaseDirectoryController::request(CoreId c, Addr addr, bool is_write,
         bool promote = false;
         if (mode == Mode::Remote) {
             promote =
-                classifier_->onRemoteAccess(*entry->meta.cls, c, rctx);
+                classifier_->onRemoteAccess(*entry.meta().cls, c, rctx);
             if (promote)
                 ++ctx_.stats.protocol.promotions;
         }
 
         if (mode == Mode::Private || promote) {
             granted = true;
-            if (entry->meta.dstate == DirState::Exclusive) {
-                if (entry->meta.owner != c) {
-                    t_shar = syncWriteback(home, *entry, t_ready);
+            if (entry.meta().dstate == DirState::Exclusive) {
+                if (entry.meta().owner != c) {
+                    t_shar = syncWriteback(home, entry, t_ready);
                 } else {
                     // The requester itself owns the line through its
                     // other L1 (dual-copy line): merge its M data
                     // locally — same tile, no network round trip —
                     // before filling from the L2 copy.
-                    l1_->downgradeCopy(c, *entry);
-                    entry->meta.dstate = DirState::Shared;
-                    entry->meta.owner = kInvalidCore;
+                    l1_->downgradeCopy(c, entry);
+                    entry.meta().dstate = DirState::Shared;
+                    entry.meta().owner = kInvalidCore;
                 }
             }
-            const L1State st = entry->meta.holders.empty()
+            const L1State st = entry.meta().holders.empty()
                                    ? L1State::Exclusive
                                    : L1State::Shared;
-            l1_->fill(c, is_ifetch, line, entry->words, st, t_shar);
-            ctx_.mem.checkRead(addr, entry->words[word]);
+            l1_->fill(c, is_ifetch, line, entry.words(), st, t_shar);
+            ctx_.mem.checkRead(addr, entry.words()[word]);
             // Gate the sharer count on *new* holdership: an ACKwise
             // list in overflow mode counts blindly, and a dual-copy
             // core is one sharer, not two.
-            if (entry->meta.holders.insert(c))
-                entry->meta.sharers.add(c);
+            if (entry.meta().holders.insert(c))
+                entry.meta().sharers.add(c);
             if (st == L1State::Exclusive) {
-                entry->meta.dstate = DirState::Exclusive;
-                entry->meta.owner = c;
+                entry.meta().dstate = DirState::Exclusive;
+                entry.meta().owner = c;
             } else {
-                entry->meta.dstate = DirState::Shared;
-                entry->meta.owner = kInvalidCore;
+                entry.meta().dstate = DirState::Shared;
+                entry.meta().owner = kInvalidCore;
             }
-            classifier_->onPrivateGrant(*entry->meta.cls, c, t_ready);
+            classifier_->onPrivateGrant(*entry.meta().cls, c, t_ready);
             ++ctx_.stats.protocol.privateReadGrants;
             ctx_.energy.addL2Line();
             ++ctx_.stats.l2.loads;
         } else {
             // Remote word read at the L2 home.
-            if (entry->meta.dstate == DirState::Exclusive)
-                t_shar = syncWriteback(home, *entry, t_ready);
-            ctx_.mem.checkRead(addr, entry->words[word]);
+            if (entry.meta().dstate == DirState::Exclusive)
+                t_shar = syncWriteback(home, entry, t_ready);
+            ctx_.mem.checkRead(addr, entry.words()[word]);
             ++ctx_.stats.protocol.remoteReads;
             ++ctx_.stats.l2.loads;
             ctx_.energy.addL2Word();
@@ -513,7 +509,7 @@ BaseDirectoryController::request(CoreId c, Addr addr, bool is_write,
             is_write ? MsgPayload::None : MsgPayload::Word;
     }
     const Cycle t5 = ctx_.net.send(reply, t_shar);
-    entry->meta.busyUntil = t_shar;
+    entry.meta().busyUntil = t_shar;
 
     // Completion-time attribution (§4.4); the stage times telescope so
     // the components sum exactly to the transaction latency.
@@ -527,16 +523,16 @@ BaseDirectoryController::request(CoreId c, Addr addr, bool is_write,
 
 Cycle
 BaseDirectoryController::dropAndAck(CoreId s, CoreId home,
-                                    L2Cache::Entry &entry,
+                                    L2Cache::Entry entry,
                                     bool l2_eviction, Cycle t_arr)
 {
-    const DropResult dr = l1_->dropCopy(s, entry.tag, entry,
+    const DropResult dr = l1_->dropCopy(s, entry.tag(), entry,
                                         l2_eviction);
     if (!l2_eviction) {
         // The locality state dies with an L2 eviction, so only a
         // protocol invalidation classifies the removal (§3.2).
         const Mode m = classifier_->onPrivateRemoval(
-            *entry.meta.cls, s, dr.util, RemovalKind::Invalidation);
+            *entry.meta().cls, s, dr.util, RemovalKind::Invalidation);
         if (m == Mode::Remote)
             ++ctx_.stats.protocol.demotions;
     }
@@ -547,9 +543,10 @@ BaseDirectoryController::dropAndAck(CoreId s, CoreId home,
 }
 
 Cycle
-BaseDirectoryController::fanOutInvalidations(
-    CoreId home, L2Cache::Entry &entry,
-    const std::vector<CoreId> &targets, Cycle t)
+BaseDirectoryController::fanOutInvalidations(CoreId home,
+                                             L2Cache::Entry entry,
+                                             const HolderVec &targets,
+                                             Cycle t)
 {
     Cycle t_end = t;
     for (const CoreId s : targets) {
@@ -563,41 +560,43 @@ BaseDirectoryController::fanOutInvalidations(
 
 Cycle
 BaseDirectoryController::invalidateHolders(CoreId home,
-                                           L2Cache::Entry &entry,
+                                           L2Cache::Entry entry,
                                            CoreId except, Cycle t)
 {
-    std::vector<CoreId> targets(entry.meta.holders.begin(),
-                                entry.meta.holders.end());
-    eraseTarget(targets, except);
-    if (targets.empty())
+    // Snapshot the holder set into the reusable scratch (grant order
+    // preserved — fan-out order is modeled timing).
+    invalTargets_ = entry.meta().holders;
+    invalTargets_.erase(except);
+    if (invalTargets_.empty())
         return t;
 
-    const Cycle t_end = fanOutInvalidations(home, entry, targets, t);
+    const Cycle t_end = fanOutInvalidations(home, entry, invalTargets_,
+                                            t);
 
-    for (const CoreId s : targets)
-        entry.meta.sharers.remove(s);
-    const bool except_held = entry.meta.holders.contains(except);
-    entry.meta.holders.clear();
+    for (const CoreId s : invalTargets_)
+        entry.meta().sharers.remove(s);
+    const bool except_held = entry.meta().holders.contains(except);
+    entry.meta().holders.clear();
     if (except_held)
-        entry.meta.holders.insert(except);
+        entry.meta().holders.insert(except);
 
-    if (entry.meta.holders.empty()) {
-        entry.meta.dstate = DirState::Uncached;
-        entry.meta.owner = kInvalidCore;
+    if (entry.meta().holders.empty()) {
+        entry.meta().dstate = DirState::Uncached;
+        entry.meta().owner = kInvalidCore;
     } else {
         // Only the requester's (upgrade) copy remains, in state S; the
         // caller promotes it to Exclusive.
-        entry.meta.dstate = DirState::Shared;
-        entry.meta.owner = kInvalidCore;
+        entry.meta().dstate = DirState::Shared;
+        entry.meta().owner = kInvalidCore;
     }
     return t_end;
 }
 
 Cycle
-BaseDirectoryController::syncWriteback(CoreId home,
-                                       L2Cache::Entry &entry, Cycle t)
+BaseDirectoryController::syncWriteback(CoreId home, L2Cache::Entry entry,
+                                       Cycle t)
 {
-    const CoreId o = entry.meta.owner;
+    const CoreId o = entry.meta().owner;
     if (o == kInvalidCore)
         panic("syncWriteback without an owner");
 
@@ -608,30 +607,31 @@ BaseDirectoryController::syncWriteback(CoreId home,
                 was_m ? MsgPayload::Line : MsgPayload::None};
     const Cycle t_ack = ctx_.net.send(ack, t_req + 1);
 
-    entry.meta.dstate = DirState::Shared;
-    entry.meta.owner = kInvalidCore;
+    entry.meta().dstate = DirState::Shared;
+    entry.meta().owner = kInvalidCore;
     ++ctx_.stats.protocol.syncWritebacks;
     return t_ack;
 }
 
 void
-BaseDirectoryController::evictionNotice(
-    CoreId home, CoreId c, LineAddr line, bool was_modified,
-    const std::vector<std::uint64_t> &words, std::uint32_t util,
-    bool still_holds)
+BaseDirectoryController::evictionNotice(CoreId home, CoreId c,
+                                        LineAddr line, bool was_modified,
+                                        const std::uint64_t *words,
+                                        std::uint32_t util,
+                                        bool still_holds)
 {
-    auto *he = ctx_.tiles[home]->l2.find(line);
-    if (he == nullptr)
+    auto he = ctx_.tiles[home]->l2.find(line);
+    if (!he)
         panic("inclusion violation: L1 evict of line %llx not in home"
               " %u", static_cast<unsigned long long>(line), home);
 
     if (!still_holds) {
-        he->meta.holders.erase(c);
-        he->meta.sharers.remove(c);
+        he.meta().holders.erase(c);
+        he.meta().sharers.remove(c);
     }
     if (was_modified) {
-        he->words = words;
-        he->meta.dirty = true;
+        he.fillWords(words);
+        he.meta().dirty = true;
         ++ctx_.stats.protocol.dirtyWritebacks;
         ctx_.energy.addL2Line();
     } else {
@@ -639,40 +639,42 @@ BaseDirectoryController::evictionNotice(
     }
     ctx_.energy.addDirAccess();
     if (!still_holds) {
-        if (he->meta.owner == c)
-            he->meta.owner = kInvalidCore;
-        if (he->meta.holders.empty()) {
-            he->meta.dstate = DirState::Uncached;
-            he->meta.owner = kInvalidCore;
-        } else if (he->meta.owner == kInvalidCore) {
-            he->meta.dstate = DirState::Shared;
+        if (he.meta().owner == c)
+            he.meta().owner = kInvalidCore;
+        if (he.meta().holders.empty()) {
+            he.meta().dstate = DirState::Uncached;
+            he.meta().owner = kInvalidCore;
+        } else if (he.meta().owner == kInvalidCore) {
+            he.meta().dstate = DirState::Shared;
         }
     }
 
     const Mode m = classifier_->onPrivateRemoval(
-        *he->meta.cls, c, util, RemovalKind::Eviction);
+        *he.meta().cls, c, util, RemovalKind::Eviction);
     if (m == Mode::Remote)
         ++ctx_.stats.protocol.demotions;
 }
 
 void
-BaseDirectoryController::l2Evict(CoreId home, L2Cache::Entry &victim,
+BaseDirectoryController::l2Evict(CoreId home, L2Cache::Entry victim,
                                  Cycle t)
 {
-    const LineAddr line = victim.tag;
-    const std::vector<CoreId> targets(victim.meta.holders.begin(),
-                                      victim.meta.holders.end());
-    for (const CoreId s : targets) {
+    const LineAddr line = victim.tag();
+    // Snapshot into the eviction scratch: dropAndAck below consults
+    // the entry while the loop runs, and the holder set must not be
+    // mutated mid-iteration.
+    evictTargets_ = victim.meta().holders;
+    for (const CoreId s : evictTargets_) {
         Message inval{MsgKind::InvalReq, home, s, MsgPayload::None};
         const Cycle t_arr = ctx_.net.send(inval, t);
         ++ctx_.stats.protocol.invalidationsSent;
         dropAndAck(s, home, victim, true, t_arr);
     }
-    victim.meta.holders.clear();
-    victim.meta.sharers.clear();
+    victim.meta().holders.clear();
+    victim.meta().sharers.clear();
 
-    if (victim.meta.dirty) {
-        ctx_.dram.writeLine(line, victim.words);
+    if (victim.meta().dirty) {
+        ctx_.dram.writeLine(line, victim.words());
         const CoreId ctrl = ctx_.dram.controllerTile(line);
         Message wb{MsgKind::DramWriteback, home, ctrl,
                    MsgPayload::Line};
@@ -694,8 +696,8 @@ BaseDirectoryController::flushPage(CoreId old_home, PageAddr page,
     const LineAddr first = ctx_.addr.firstLineOf(page);
     Tile &ht = *ctx_.tiles[old_home];
     for (std::uint32_t i = 0; i < lines_per_page; ++i) {
-        if (auto *e = ht.l2.find(first + i)) {
-            l2Evict(old_home, *e, t);
+        if (auto e = ht.l2.find(first + i)) {
+            l2Evict(old_home, e, t);
             ++ctx_.stats.protocol.rehomeFlushes;
         }
     }

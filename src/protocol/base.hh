@@ -42,19 +42,19 @@ class BaseL1Controller final : public L1Controller
     void access(CoreId c, Addr addr, bool is_write, bool is_ifetch,
                 bool charge_fetch_energy = true) override;
     bool touchResidentIfetch(CoreId c, Addr addr) override;
-    L1Cache::Entry &fill(CoreId c, bool is_ifetch, LineAddr line,
-                         const std::vector<std::uint64_t> &words,
-                         L1State st, Cycle t) override;
+    L1Cache::Entry fill(CoreId c, bool is_ifetch, LineAddr line,
+                        const std::uint64_t *words, L1State st,
+                        Cycle t) override;
     void applyUpgrade(CoreId c, bool is_ifetch, LineAddr line,
                       std::uint32_t word, std::uint64_t val) override;
-    DropResult dropCopy(CoreId s, LineAddr line, L2Cache::Entry &entry,
+    DropResult dropCopy(CoreId s, LineAddr line, L2Cache::Entry entry,
                         bool l2_eviction) override;
-    bool downgradeCopy(CoreId owner, L2Cache::Entry &entry) override;
+    bool downgradeCopy(CoreId owner, L2Cache::Entry entry) override;
     bool dropOtherCopy(CoreId c, bool is_ifetch, LineAddr line) override;
 
   private:
     /** Handle an L1 eviction: notify the home, classify (§3.2). */
-    void evict(CoreId c, bool is_ifetch, L1Cache::Entry &victim,
+    void evict(CoreId c, bool is_ifetch, L1Cache::Entry victim,
                Cycle t);
 
     ProtocolContext ctx_;
@@ -73,8 +73,7 @@ class BaseDirectoryController : public DirectoryController
     void request(CoreId c, Addr addr, bool is_write, bool is_ifetch,
                  bool upgrade, const L1SetHint &hint) override;
     void evictionNotice(CoreId home, CoreId c, LineAddr line,
-                        bool was_modified,
-                        const std::vector<std::uint64_t> &words,
+                        bool was_modified, const std::uint64_t *words,
                         std::uint32_t util, bool still_holds) override;
     CoreId homeOf(LineAddr line, CoreId requester) const override;
     LocalityClassifier &classifier() override { return *classifier_; }
@@ -91,11 +90,13 @@ class BaseDirectoryController : public DirectoryController
     /**
      * Deliver invalidations to @p targets and collect the acks.
      * The base implementation unicasts per sharer; ACKwise overrides
-     * this with the overflow broadcast. @return time all acks have
-     * been collected.
+     * this with the overflow broadcast. @p targets aliases a scratch
+     * member of this controller (no per-transaction allocation) and
+     * stays valid for the duration of the call. @return time all acks
+     * have been collected.
      */
-    virtual Cycle fanOutInvalidations(CoreId home, L2Cache::Entry &entry,
-                                      const std::vector<CoreId> &targets,
+    virtual Cycle fanOutInvalidations(CoreId home, L2Cache::Entry entry,
+                                      const HolderVec &targets,
                                       Cycle t);
 
     /**
@@ -103,30 +104,30 @@ class BaseDirectoryController : public DirectoryController
      * entry itself is dying to an L2 eviction), and send the ack.
      * @return ack arrival time at @p home.
      */
-    Cycle dropAndAck(CoreId s, CoreId home, L2Cache::Entry &entry,
+    Cycle dropAndAck(CoreId s, CoreId home, L2Cache::Entry entry,
                      bool l2_eviction, Cycle t_arr);
 
     /**
      * Invalidate all private holders except @p except; merges M data
      * into the L2 copy. @return time all acks have been collected.
      */
-    Cycle invalidateHolders(CoreId home, L2Cache::Entry &entry,
+    Cycle invalidateHolders(CoreId home, L2Cache::Entry entry,
                             CoreId except, Cycle t);
 
     /**
      * Find the line in the home slice or fill it from DRAM.
      * Outputs the stage boundary times for attribution.
      */
-    L2Cache::Entry *l2FindOrFill(CoreId home, LineAddr line, Cycle t_arr,
-                                 Cycle &t_ready, Cycle &waiting,
-                                 Cycle &offchip);
+    L2Cache::Entry l2FindOrFill(CoreId home, LineAddr line, Cycle t_arr,
+                                Cycle &t_ready, Cycle &waiting,
+                                Cycle &offchip);
 
     /** Downgrade the exclusive owner (read path): data to L2, owner
      * keeps an S copy. @return ack time. */
-    Cycle syncWriteback(CoreId home, L2Cache::Entry &entry, Cycle t);
+    Cycle syncWriteback(CoreId home, L2Cache::Entry entry, Cycle t);
 
     /** Evict an L2 line: back-invalidate holders, write back. */
-    void l2Evict(CoreId home, L2Cache::Entry &victim, Cycle t);
+    void l2Evict(CoreId home, L2Cache::Entry victim, Cycle t);
 
     /** R-NUCA private->shared re-homing flush (§3.1). */
     void flushPage(CoreId old_home, PageAddr page, Cycle t);
@@ -134,6 +135,18 @@ class BaseDirectoryController : public DirectoryController
     ProtocolContext ctx_;
     L1Controller *l1_ = nullptr;
     std::unique_ptr<LocalityClassifier> classifier_;
+
+  private:
+    /**
+     * Reusable target-list scratch (invalidation fan-out / L2
+     * eviction back-invalidation). Steady state is allocation-free:
+     * the inline SmallCoreVec capacity covers typical sharer sets,
+     * and a spilled copy reuses the spill vector's storage.
+     * invalidateHolders and l2Evict never nest, but each gets its own
+     * scratch so the snapshot survives holder-set mutation.
+     */
+    HolderVec invalTargets_;
+    HolderVec evictTargets_;
 };
 
 } // namespace lacc

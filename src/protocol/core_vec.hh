@@ -124,14 +124,13 @@ class SmallCoreVec
         return true;
     }
 
-    /** Drop all ids (releases any spill storage). */
+    /** Drop all ids (spill capacity is kept for reuse). */
     void
     clear()
     {
         size_ = 0;
         spilled_ = false;
         spill_.clear();
-        spill_.shrink_to_fit();
     }
 
   private:

@@ -66,6 +66,26 @@ struct L2Meta
     bool dirty = false;            //!< L2 copy newer than DRAM
 };
 
+/**
+ * invalidate() reset for the L2 directory meta (found by ADL from
+ * SetAssocCache::invalidate): protocol state is cleared, but the
+ * classifier-state allocation and the sharer-list organization
+ * survive — the refill path (l2FindOrFill) resets their contents in
+ * place, so steady-state L2 slot churn performs no heap traffic.
+ * The stale classifier contents are never read: every consumer goes
+ * through a valid entry, and a refill resets before use.
+ */
+inline void
+resetCacheMeta(L2Meta &m)
+{
+    m.dstate = DirState::Uncached;
+    m.owner = kInvalidCore;
+    m.sharers.clear();
+    m.holders.clear();
+    m.busyUntil = 0;
+    m.dirty = false;
+}
+
 /** L2 slice array: hashed set index (see SetAssocCache). */
 using L2Cache = SetAssocCache<L2Meta, true>;
 

@@ -7,24 +7,25 @@
 namespace lacc {
 
 Cycle
-AckwiseDirectory::fanOutInvalidations(CoreId home, L2Cache::Entry &entry,
-                                      const std::vector<CoreId> &targets,
+AckwiseDirectory::fanOutInvalidations(CoreId home, L2Cache::Entry entry,
+                                      const HolderVec &targets,
                                       Cycle t)
 {
-    if (!entry.meta.sharers.overflowed())
+    if (!entry.meta().sharers.overflowed())
         return BaseDirectoryController::fanOutInvalidations(home, entry,
                                                             targets, t);
 
     // ACKwise overflow: identities unknown, broadcast with a single
-    // injection; acks only from the actual sharers (§3.1).
-    std::vector<Cycle> arrivals;
+    // injection; acks only from the actual sharers (§3.1). The
+    // arrival buffer is a reusable member (mesh broadcast re-assigns
+    // it to numCores each call without reallocating).
     Message bcast{MsgKind::InvalReq, home, home, MsgPayload::None};
-    ctx_.net.broadcast(bcast, t, arrivals);
+    ctx_.net.broadcast(bcast, t, bcastArrivals_);
     ++ctx_.stats.protocol.broadcastInvals;
     Cycle t_end = t;
     for (const CoreId s : targets)
-        t_end = std::max(t_end,
-                         dropAndAck(s, home, entry, false, arrivals[s]));
+        t_end = std::max(t_end, dropAndAck(s, home, entry, false,
+                                           bcastArrivals_[s]));
     return t_end;
 }
 

@@ -13,6 +13,8 @@
 #ifndef LACC_PROTOCOL_LACC_HH
 #define LACC_PROTOCOL_LACC_HH
 
+#include <vector>
+
 #include "protocol/base.hh"
 
 namespace lacc {
@@ -30,9 +32,13 @@ class AckwiseDirectory final : public BaseDirectoryController
         return SharerList::makeAckwise(ctx_.cfg.ackwisePointers);
     }
 
-    Cycle fanOutInvalidations(CoreId home, L2Cache::Entry &entry,
-                              const std::vector<CoreId> &targets,
+    Cycle fanOutInvalidations(CoreId home, L2Cache::Entry entry,
+                              const HolderVec &targets,
                               Cycle t) override;
+
+  private:
+    /** Reusable per-tile broadcast arrival buffer (sized numCores). */
+    std::vector<Cycle> bcastArrivals_;
 };
 
 /** The locality-aware adaptive protocol over ACKwise_p. */

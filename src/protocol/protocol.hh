@@ -120,13 +120,14 @@ class L1Controller
 
     /**
      * Install a line into an L1 (private grant), evicting the victim
-     * if needed. @return the installed entry (write grants poke the
-     * stored word into it).
+     * if needed. @p words points at one line of data (the system's
+     * wordsPerLine() words), typically the granting L2 entry's arena
+     * slice; it is copied into the L1's arena. @return a handle to
+     * the installed entry (write grants poke the stored word into it).
      */
-    virtual L1Cache::Entry &
+    virtual L1Cache::Entry
     fill(CoreId c, bool is_ifetch, LineAddr line,
-         const std::vector<std::uint64_t> &words, L1State st,
-         Cycle t) = 0;
+         const std::uint64_t *words, L1State st, Cycle t) = 0;
 
     /** Apply an upgrade grant to the requester's S copy (S -> M). */
     virtual void applyUpgrade(CoreId c, bool is_ifetch, LineAddr line,
@@ -144,14 +145,14 @@ class L1Controller
      *        dies with the entry)
      */
     virtual DropResult dropCopy(CoreId s, LineAddr line,
-                                L2Cache::Entry &entry,
+                                L2Cache::Entry entry,
                                 bool l2_eviction) = 0;
 
     /**
      * Downgrade the exclusive owner's copy to S (sync write-back),
      * merging M data into @p entry. @return true if the copy was M.
      */
-    virtual bool downgradeCopy(CoreId owner, L2Cache::Entry &entry) = 0;
+    virtual bool downgradeCopy(CoreId owner, L2Cache::Entry entry) = 0;
 
     /**
      * Drop the requester's copy of @p line in its *other* L1 (the
@@ -184,7 +185,8 @@ class DirectoryController
     /**
      * Home-side handling of an L1 eviction notice: directory entry
      * update, dirty write-back merge, and eviction classification
-     * (§3.2).
+     * (§3.2). @p words points at the victim's line data (still live
+     * in the evicting L1's arena when this is called).
      *
      * @param still_holds the core still has a copy of the line in
      *        its other L1 (L1-I vs L1-D): the holder entry and
@@ -192,7 +194,7 @@ class DirectoryController
      */
     virtual void evictionNotice(CoreId home, CoreId c, LineAddr line,
                                 bool was_modified,
-                                const std::vector<std::uint64_t> &words,
+                                const std::uint64_t *words,
                                 std::uint32_t util,
                                 bool still_holds) = 0;
 

@@ -6,48 +6,47 @@ PageTable::Result
 PageTable::access(PageAddr page, CoreId core, bool is_ifetch)
 {
     Result res;
-    auto it = table_.find(page);
-    if (it == table_.end()) {
-        Record rec;
+    Record *rec = table_.find(page);
+    if (rec == nullptr) {
+        Record fresh;
         if (is_ifetch) {
-            rec.cls = PageClass::Instruction;
+            fresh.cls = PageClass::Instruction;
         } else {
-            rec.cls = PageClass::PrivateData;
-            rec.owner = core;
+            fresh.cls = PageClass::PrivateData;
+            fresh.owner = core;
         }
-        table_.emplace(page, rec);
-        res.record = rec;
+        table_[page] = fresh;
+        res.record = fresh;
         return res;
     }
 
-    Record &rec = it->second;
-    if (rec.cls == PageClass::PrivateData && !is_ifetch &&
-        rec.owner != core) {
+    if (rec->cls == PageClass::PrivateData && !is_ifetch &&
+        rec->owner != core) {
         // Second core touched a private page: re-classify shared and
         // tell the caller to flush the old home slice.
         res.rehomed = true;
-        res.oldOwner = rec.owner;
-        rec.cls = PageClass::SharedData;
-        rec.owner = kInvalidCore;
+        res.oldOwner = rec->owner;
+        rec->cls = PageClass::SharedData;
+        rec->owner = kInvalidCore;
     }
-    res.record = rec;
+    res.record = *rec;
     return res;
 }
 
 const PageTable::Record *
 PageTable::lookup(PageAddr page) const
 {
-    auto it = table_.find(page);
-    return it == table_.end() ? nullptr : &it->second;
+    return table_.find(page);
 }
 
 std::size_t
 PageTable::countClass(PageClass c) const
 {
     std::size_t n = 0;
-    for (const auto &[page, rec] : table_)
+    table_.forEach([&](PageAddr, const Record &rec) {
         if (rec.cls == c)
             ++n;
+    });
     return n;
 }
 

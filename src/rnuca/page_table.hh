@@ -15,8 +15,8 @@
 #define LACC_RNUCA_PAGE_TABLE_HH
 
 #include <cstdint>
-#include <unordered_map>
 
+#include "sim/flat_map.hh"
 #include "sim/types.hh"
 
 namespace lacc {
@@ -44,6 +44,19 @@ pageClassName(PageClass c)
 class PageTable
 {
   public:
+    PageTable() = default;
+
+    /**
+     * @param expected_pages pre-sizes the classification map (e.g.
+     *        the aggregate L2 footprint in pages) so steady-state
+     *        first touches do not rehash it; the map still grows past
+     *        the estimate if the workload touches more pages.
+     */
+    explicit PageTable(std::size_t expected_pages)
+    {
+        table_.reserve(expected_pages);
+    }
+
     /** Classification record of one page. */
     struct Record
     {
@@ -84,7 +97,9 @@ class PageTable
     std::size_t countClass(PageClass c) const;
 
   private:
-    std::unordered_map<PageAddr, Record> table_;
+    // Flat open-addressing map (sim/flat_map.hh): consulted on every
+    // directory transaction (access + homeOf lookup).
+    FlatAddrMap<Record> table_;
 };
 
 } // namespace lacc

@@ -31,6 +31,26 @@ class FunctionalMemory
     void setChecks(bool on) { checks_ = on; }
     bool checksEnabled() const { return checks_; }
 
+    /** The 64-bit-word address backing a byte address. */
+    static constexpr Addr
+    wordAddr(Addr addr)
+    {
+        return addr & ~Addr{7};
+    }
+
+    /**
+     * Pre-size the reference map for a workload touching roughly
+     * @p expected_words distinct words, so big traces do not rehash
+     * the map over and over as the footprint is discovered. No-op
+     * when checking is disabled (the map stays empty then).
+     */
+    void
+    reserveFootprint(std::size_t expected_words)
+    {
+        if (checks_)
+            mem_.reserve(expected_words);
+    }
+
     /** A fresh, globally unique store value. */
     std::uint64_t nextValue() { return ++counter_; }
 
@@ -39,7 +59,7 @@ class FunctionalMemory
     write(Addr addr, std::uint64_t v)
     {
         if (checks_)
-            mem_[addr & ~Addr{7}] = v;
+            mem_[wordAddr(addr)] = v;
     }
 
     /** Check a load's value against the reference memory. */
@@ -48,7 +68,7 @@ class FunctionalMemory
     {
         if (!checks_)
             return;
-        const auto it = mem_.find(addr & ~Addr{7});
+        const auto it = mem_.find(wordAddr(addr));
         const std::uint64_t expect = it == mem_.end() ? 0 : it->second;
         if (got != expect) {
             ++errors_;
@@ -69,7 +89,7 @@ class FunctionalMemory
     bool checks_ = true;
     std::uint64_t counter_ = 0;
     std::uint64_t errors_ = 0;
-    std::unordered_map<Addr, std::uint64_t> mem_;
+    std::unordered_map<Addr, std::uint64_t, MixAddrHash> mem_;
 };
 
 } // namespace lacc

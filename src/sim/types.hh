@@ -40,6 +40,56 @@ constexpr Addr kInvalidAddr = std::numeric_limits<Addr>::max();
 constexpr Cycle kNeverCycle = std::numeric_limits<Cycle>::max();
 
 /**
+ * Mixes line-address bits so interleaved homes do not alias L2 sets
+ * (half of the MurmurHash3 finalizer). This exact function defines
+ * the hashed L2 set index, so it is part of the simulated behavior —
+ * never change it without regenerating the determinism goldens. For
+ * hash *tables*, whose bucket choice is not modeled behavior, use
+ * mixAddrBits/MixAddrHash below instead: the single-multiply variant
+ * leaves the low bits of small aligned keys (page addresses) heavily
+ * correlated.
+ */
+inline std::uint64_t
+mixLineAddr(std::uint64_t x)
+{
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    return x;
+}
+
+/**
+ * Full MurmurHash3 64-bit finalizer: avalanches every input bit into
+ * every output bit, including the low bits that power-of-two hash
+ * tables mask on. Used by the address-keyed maps on the simulation
+ * hot path (never for modeled indices — see mixLineAddr).
+ */
+inline std::uint64_t
+mixAddrBits(std::uint64_t x)
+{
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ULL;
+    x ^= x >> 33;
+    return x;
+}
+
+/**
+ * unordered_map hasher for Addr/LineAddr/PageAddr keys, built on
+ * mixAddrBits (the standard-library default hashes integers to
+ * themselves, which clusters buckets for aligned addresses).
+ */
+struct MixAddrHash
+{
+    std::size_t
+    operator()(std::uint64_t x) const noexcept
+    {
+        return static_cast<std::size_t>(mixAddrBits(x));
+    }
+};
+
+/**
  * Locality mode of a core with respect to one cache line (Section 3.2).
  *
  * A Private sharer is handed full line copies; a Remote sharer's L1

@@ -59,6 +59,8 @@ runBenchmark(const std::string &bench, const SystemConfig &cfg,
     r.completionTime = stats.completionTime();
     r.energyTotal = stats.energy.total();
     r.functionalErrors = system.functionalErrors();
+    for (const auto &c : stats.perCore)
+        r.simOps += c.instructions;
     return r;
 }
 

@@ -23,6 +23,13 @@ struct RunResult
     Cycle completionTime = 0;
     double energyTotal = 0.0;
     std::uint64_t functionalErrors = 0;
+    /**
+     * Simulated operations retired by the run (per-core instruction
+     * counts summed). The throughput numerator of the harness's
+     * ops_per_sec metric (schema v2); deterministic for a given
+     * (bench, cfg, scale), unlike wall clock.
+     */
+    std::uint64_t simOps = 0;
 };
 
 /**

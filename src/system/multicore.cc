@@ -20,7 +20,12 @@ validated(const SystemConfig &cfg)
 Multicore::Multicore(const SystemConfig &cfg)
     : cfg_(validated(cfg)), addr_(cfg_), energy_(),
       mesh_(cfg_, energy_), net_(cfg_, mesh_), dram_(cfg_),
-      pageTable_(), placement_(cfg_), barrier_(cfg_.numCores)
+      // Pre-size the page table for the aggregate L2 footprint in
+      // pages (the steady-state hot set R-NUCA classifies).
+      pageTable_(static_cast<std::size_t>(cfg_.numCores) *
+                 cfg_.l2Sets() * cfg_.l2Assoc /
+                 (cfg_.pageSize / cfg_.lineSize)),
+      placement_(cfg_), barrier_(cfg_.numCores)
 {
     tiles_.reserve(cfg_.numCores);
     for (std::uint32_t c = 0; c < cfg_.numCores; ++c)
@@ -50,6 +55,10 @@ Multicore::run(Workload &workload)
     workload_ = &workload;
     locks_.assign(std::max<std::uint32_t>(workload.numLocks(), 1),
                   LockState{});
+    // Pre-size the reference memory from the workload's data
+    // footprint (a no-op when functional checks are off).
+    mem_.reserveFootprint(
+        static_cast<std::size_t>(workload.footprintBytes() / 8));
 
     for (std::uint32_t c = 0; c < cfg_.numCores; ++c)
         schedule(static_cast<CoreId>(c), 0);
@@ -189,7 +198,9 @@ Multicore::handleBarrier(CoreId c, Workload &workload)
 
     if (barrier_.arrive(c, t_arr)) {
         const Cycle rel = barrier_.releaseTime();
-        std::vector<Cycle> wake;
+        // Reusable member scratch: the mesh broadcast re-assigns it
+        // to numCores entries without reallocating.
+        std::vector<Cycle> &wake = barrierWake_;
         Message release{MsgKind::BarrierRelease, bhome, bhome,
                         MsgPayload::None};
         net_.broadcast(release, rel, wake);

@@ -163,6 +163,7 @@ class Multicore
     // Synchronization.
     BarrierState barrier_;
     std::vector<LockState> locks_;
+    std::vector<Cycle> barrierWake_; //!< reusable broadcast arrivals
     std::uint32_t barrierReleases_ = 0;
     Cycle statsStart_ = 0; //!< measurement epoch (after warm-up)
 };

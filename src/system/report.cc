@@ -383,6 +383,7 @@ toJson(const RunResult &result)
     j["completion_time"] = result.completionTime;
     j["energy_total"] = result.energyTotal;
     j["functional_errors"] = result.functionalErrors;
+    j["sim_ops"] = result.simOps;
     j["stats"] = toJson(result.stats);
     return j;
 }
@@ -394,6 +395,10 @@ runResultFromJson(const Json &j)
     r.completionTime = j.at("completion_time").asUint();
     r.energyTotal = j.at("energy_total").asDouble();
     r.functionalErrors = j.at("functional_errors").asUint();
+    // Schema v1 documents predate sim_ops; treat it as optional so
+    // archived artifacts stay loadable.
+    if (const Json *ops = j.find("sim_ops"))
+        r.simOps = ops->asUint();
 
     const Json &s = j.at("stats");
     // Aggregates land in core 0 of a perCore vector of the original

@@ -61,8 +61,13 @@ double geomean(const std::vector<double> &values);
 // JSON serialization (schema kBenchJsonSchemaVersion; docs/BENCHMARKS.md).
 // ---------------------------------------------------------------------------
 
-/** Version stamp written into every BENCH_*.json document. */
-constexpr int kBenchJsonSchemaVersion = 1;
+/**
+ * Version stamp written into every BENCH_*.json document.
+ * v2 added the throughput fields: top-level repeat / sim_ops /
+ * wall_ms / ops_per_sec, the same trio per run record, and sim_ops in
+ * every serialized RunResult.
+ */
+constexpr int kBenchJsonSchemaVersion = 2;
 
 /** Serialize every SystemConfig field (enums as their names). */
 Json toJson(const SystemConfig &cfg);

@@ -39,7 +39,15 @@ class Tile
         : id(id),
           l1i(cfg.l1iSets(), cfg.l1iAssoc, cfg.wordsPerLine()),
           l1d(cfg.l1dSets(), cfg.l1dAssoc, cfg.wordsPerLine()),
-          l2(cfg.l2Sets(), cfg.l2Assoc, cfg.wordsPerLine())
+          l2(cfg.l2Sets(), cfg.l2Assoc, cfg.wordsPerLine()),
+          // Pre-size the miss-taxonomy map: a small multiple of this
+          // core's L1 capacity bounds the lines it loses and
+          // re-misses in steady state.
+          missTracker((static_cast<std::size_t>(cfg.l1dSets()) *
+                           cfg.l1dAssoc +
+                       static_cast<std::size_t>(cfg.l1iSets()) *
+                           cfg.l1iAssoc) *
+                      4)
     {}
 
     const CoreId id;

@@ -68,6 +68,7 @@ SyntheticWorkload::SyntheticWorkload(const SyntheticSpec &spec,
         privateA_.push_back(as.alloc(spec_.privateHotBytes));
     for (std::uint32_t c = 0; c < spec_.numCores; ++c)
         privateB_.push_back(as.alloc(spec_.privateStreamBytes));
+    footprintBytes_ = as.top() - sharedROBase_;
 
     gens_.resize(spec_.numCores);
     for (std::uint32_t c = 0; c < spec_.numCores; ++c)

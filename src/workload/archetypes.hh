@@ -142,6 +142,11 @@ class SyntheticWorkload final : public Workload
         return spec_.iFootprintLines;
     }
 
+    std::uint64_t footprintBytes() const override
+    {
+        return footprintBytes_;
+    }
+
     std::uint32_t
     warmupBarriers() const override
     {
@@ -227,6 +232,7 @@ class SyntheticWorkload final : public Workload
     Addr sharedStreamBase_ = 0;
     Addr lockBase_ = 0;
     Addr csBase_ = 0;
+    std::uint64_t footprintBytes_ = 0; //!< laid-out data region size
     std::vector<Addr> privateA_; //!< per-core hot region
     std::vector<Addr> privateB_; //!< per-core stream region
 

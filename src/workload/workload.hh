@@ -96,6 +96,14 @@ class Workload
     }
 
     /**
+     * Approximate data footprint in bytes (0 = unknown). Used by the
+     * system to pre-size the functional reference memory so big
+     * workloads do not rehash it repeatedly; an estimate, not a
+     * contract — accesses outside the footprint still work.
+     */
+    virtual std::uint64_t footprintBytes() const { return 0; }
+
+    /**
      * Address of the cache line backing lock @p id. Lock transfers
      * generate real coherence traffic on this line.
      */

@@ -1,7 +1,8 @@
 /**
  * @file
- * Unit tests for the set-associative cache array and the miss-type
- * tracker (Section 4.4 taxonomy).
+ * Unit tests for the set-associative cache array (structure-of-arrays
+ * tag store + line-data arena, addressed through Entry handles) and
+ * the miss-type tracker (Section 4.4 taxonomy).
  */
 
 #include <gtest/gtest.h>
@@ -15,22 +16,23 @@ namespace {
 TEST(SetAssoc, FindMissOnEmpty)
 {
     L1Cache c(16, 4, 8);
-    EXPECT_EQ(c.find(0x123), nullptr);
+    EXPECT_FALSE(c.find(0x123));
     EXPECT_EQ(c.validCount(), 0u);
 }
 
 TEST(SetAssoc, FillAndFind)
 {
     L1Cache c(16, 4, 8);
-    auto &e = c.victimFor(0x123);
-    EXPECT_FALSE(e.valid);
-    e.valid = true;
-    e.tag = 0x123;
-    e.meta.state = L1State::Shared;
-    auto *f = c.find(0x123);
-    ASSERT_NE(f, nullptr);
-    EXPECT_EQ(f->tag, 0x123u);
-    EXPECT_EQ(f->meta.state, L1State::Shared);
+    auto e = c.victimFor(0x123);
+    EXPECT_FALSE(e.valid());
+    e.setValid(true);
+    e.setTag(0x123);
+    e.meta().state = L1State::Shared;
+    auto f = c.find(0x123);
+    ASSERT_TRUE(f);
+    EXPECT_EQ(f.tag(), 0x123u);
+    EXPECT_EQ(f.meta().state, L1State::Shared);
+    EXPECT_EQ(f, e) << "find returns a handle to the same slot";
     EXPECT_EQ(c.validCount(), 1u);
 }
 
@@ -46,42 +48,42 @@ TEST(SetAssoc, VictimPrefersInvalidWay)
 {
     L1Cache c(4, 2, 8);
     // Fill way 0 of set 1.
-    auto &e0 = c.victimFor(1);
-    e0.valid = true;
-    e0.tag = 1;
-    e0.lastAccess = 100;
+    auto e0 = c.victimFor(1);
+    e0.setValid(true);
+    e0.setTag(1);
+    e0.setLastAccess(100);
     // Same set (line 5 -> set 1): must pick the invalid way, not LRU.
-    auto &e1 = c.victimFor(5);
-    EXPECT_FALSE(e1.valid);
-    EXPECT_NE(&e1, &e0);
+    auto e1 = c.victimFor(5);
+    EXPECT_FALSE(e1.valid());
+    EXPECT_NE(e1, e0);
 }
 
 TEST(SetAssoc, VictimIsLru)
 {
     L1Cache c(4, 2, 8);
-    auto &e0 = c.victimFor(1);
-    e0.valid = true;
-    e0.tag = 1;
-    e0.lastAccess = 200;
-    auto &e1 = c.victimFor(5);
-    e1.valid = true;
-    e1.tag = 5;
-    e1.lastAccess = 100; // older
-    auto &v = c.victimFor(9); // set 1 again, both ways full
-    EXPECT_EQ(&v, &e1);
+    auto e0 = c.victimFor(1);
+    e0.setValid(true);
+    e0.setTag(1);
+    e0.setLastAccess(200);
+    auto e1 = c.victimFor(5);
+    e1.setValid(true);
+    e1.setTag(5);
+    e1.setLastAccess(100); // older
+    auto v = c.victimFor(9); // set 1 again, both ways full
+    EXPECT_EQ(v, e1);
 }
 
 TEST(SetAssoc, HasInvalidWay)
 {
     L1Cache c(4, 2, 8);
     EXPECT_TRUE(c.hasInvalidWay(1));
-    auto &e0 = c.victimFor(1);
-    e0.valid = true;
-    e0.tag = 1;
+    auto e0 = c.victimFor(1);
+    e0.setValid(true);
+    e0.setTag(1);
     EXPECT_TRUE(c.hasInvalidWay(1));
-    auto &e1 = c.victimFor(5);
-    e1.valid = true;
-    e1.tag = 5;
+    auto e1 = c.victimFor(5);
+    e1.setValid(true);
+    e1.setTag(5);
     EXPECT_FALSE(c.hasInvalidWay(1));
     EXPECT_TRUE(c.hasInvalidWay(2)); // other sets untouched
 }
@@ -90,32 +92,32 @@ TEST(SetAssoc, MinLastAccess)
 {
     L1Cache c(4, 2, 8);
     EXPECT_EQ(c.minLastAccess(1), 0u); // empty set
-    auto &e0 = c.victimFor(1);
-    e0.valid = true;
-    e0.tag = 1;
-    e0.lastAccess = 50;
-    auto &e1 = c.victimFor(5);
-    e1.valid = true;
-    e1.tag = 5;
-    e1.lastAccess = 30;
+    auto e0 = c.victimFor(1);
+    e0.setValid(true);
+    e0.setTag(1);
+    e0.setLastAccess(50);
+    auto e1 = c.victimFor(5);
+    e1.setValid(true);
+    e1.setTag(5);
+    e1.setLastAccess(30);
     EXPECT_EQ(c.minLastAccess(9), 30u);
 }
 
 TEST(SetAssoc, InvalidateResetsEntry)
 {
     L1Cache c(4, 2, 8);
-    auto &e = c.victimFor(1);
-    e.valid = true;
-    e.tag = 1;
-    e.meta.state = L1State::Modified;
-    e.meta.privateUtil = 7;
-    e.words[3] = 42;
+    auto e = c.victimFor(1);
+    e.setValid(true);
+    e.setTag(1);
+    e.meta().state = L1State::Modified;
+    e.meta().privateUtil = 7;
+    e.words()[3] = 42;
     c.invalidate(e);
-    EXPECT_FALSE(e.valid);
-    EXPECT_EQ(e.meta.state, L1State::Invalid);
-    EXPECT_EQ(e.meta.privateUtil, 0u);
-    EXPECT_EQ(e.words[3], 0u);
-    EXPECT_EQ(c.find(1), nullptr);
+    EXPECT_FALSE(e.valid());
+    EXPECT_EQ(e.meta().state, L1State::Invalid);
+    EXPECT_EQ(e.meta().privateUtil, 0u);
+    EXPECT_EQ(e.words()[3], 0u);
+    EXPECT_FALSE(c.find(1));
 }
 
 TEST(SetAssoc, HashedIndexSpreadsStridedLines)
@@ -135,7 +137,59 @@ TEST(SetAssoc, HashedIndexSpreadsStridedLines)
 TEST(SetAssoc, WordsSizedPerLine)
 {
     L1Cache c(4, 2, 4);
-    EXPECT_EQ(c.victimFor(0).words.size(), 4u);
+    EXPECT_EQ(c.victimFor(0).wordsPerLine(), 4u);
+    EXPECT_EQ(c.wordsPerLine(), 4u);
+}
+
+TEST(SetAssoc, NullHandleTestsFalse)
+{
+    L1Cache c(4, 2, 8);
+    L1Cache::Entry null_handle;
+    EXPECT_FALSE(null_handle);
+    EXPECT_EQ(null_handle, c.find(0x7)); // miss returns a null handle
+}
+
+TEST(SetAssoc, ArenaSlicesAreDisjointAndContiguous)
+{
+    // The data arena hands each (set, way) slot its own
+    // wordsPerLine-sized slice; neighbors in the same set are
+    // adjacent (structure-of-arrays layout).
+    L1Cache c(4, 2, 8);
+    auto a = c.entryAt(1, 0);
+    auto b = c.entryAt(1, 1);
+    EXPECT_EQ(b.words(), a.words() + 8);
+    a.words()[7] = 11;
+    b.words()[0] = 22;
+    EXPECT_EQ(a.words()[7], 11u);
+    EXPECT_EQ(b.words()[0], 22u);
+}
+
+TEST(SetAssoc, FillWordsCopiesOneLine)
+{
+    L1Cache c(4, 2, 4);
+    const std::uint64_t src[4] = {1, 2, 3, 4};
+    auto e = c.victimFor(0x9);
+    e.fillWords(src);
+    EXPECT_EQ(e.words()[0], 1u);
+    EXPECT_EQ(e.words()[3], 4u);
+    e.clearWords();
+    EXPECT_EQ(e.words()[0], 0u);
+    EXPECT_EQ(e.words()[3], 0u);
+}
+
+TEST(SetAssoc, ForEachVisitsEverySlot)
+{
+    L1Cache c(4, 2, 8);
+    auto e = c.victimFor(2);
+    e.setValid(true);
+    e.setTag(2);
+    std::size_t slots = 0, valid = 0;
+    c.forEach([&](L1Cache::Entry h) {
+        ++slots;
+        valid += h.valid();
+    });
+    EXPECT_EQ(slots, 8u);
+    EXPECT_EQ(valid, 1u);
 }
 
 TEST(MissTracker, ColdByDefault)
@@ -196,6 +250,15 @@ TEST(MissTracker, LinesIndependent)
     EXPECT_EQ(t.classify(0x20, false, false), MissType::Sharing);
     EXPECT_EQ(t.classify(0x30, false, false), MissType::Cold);
     EXPECT_EQ(t.trackedLines(), 2u);
+}
+
+TEST(MissTracker, ReserveDoesNotChangeBehavior)
+{
+    MissStatusTracker t(4096);
+    EXPECT_EQ(t.trackedLines(), 0u);
+    t.onEviction(0x10);
+    EXPECT_EQ(t.classify(0x10, false, false), MissType::Capacity);
+    EXPECT_EQ(t.trackedLines(), 1u);
 }
 
 } // namespace

@@ -66,17 +66,41 @@ TEST(Dram, FunctionalStorageRoundTrips)
 {
     SystemConfig cfg;
     DramModel d(cfg);
+    ASSERT_EQ(d.wordsPerLine(), 8u);
     std::vector<std::uint64_t> w(8, 0);
-    d.readLine(0x42, w, 8);
+    d.readLine(0x42, w.data()); // untouched: zero fill
     for (auto v : w)
         EXPECT_EQ(v, 0u);
+    EXPECT_EQ(d.storedLines(), 0u) << "reads allocate no slab slot";
     w[3] = 1234;
-    d.writeLine(0x42, w);
-    std::vector<std::uint64_t> r;
-    d.readLine(0x42, r, 8);
-    ASSERT_EQ(r.size(), 8u);
+    d.writeLine(0x42, w.data());
+    std::vector<std::uint64_t> r(8, 77);
+    d.readLine(0x42, r.data());
     EXPECT_EQ(r[3], 1234u);
     EXPECT_EQ(r[0], 0u);
+    EXPECT_EQ(d.storedLines(), 1u);
+}
+
+TEST(Dram, SlabArenaReusesSlotOnRewrite)
+{
+    // Rewriting a line must overwrite its existing pool slot, not
+    // allocate a new one, and other lines' slots must be unaffected.
+    SystemConfig cfg;
+    DramModel d(cfg);
+    std::vector<std::uint64_t> w(8, 0);
+    w[0] = 1;
+    d.writeLine(0x10, w.data());
+    w[0] = 2;
+    d.writeLine(0x11, w.data());
+    EXPECT_EQ(d.storedLines(), 2u);
+    w[0] = 3;
+    d.writeLine(0x10, w.data()); // rewrite first line
+    EXPECT_EQ(d.storedLines(), 2u);
+    std::vector<std::uint64_t> r(8, 0);
+    d.readLine(0x10, r.data());
+    EXPECT_EQ(r[0], 3u);
+    d.readLine(0x11, r.data());
+    EXPECT_EQ(r[0], 2u);
 }
 
 TEST(Dram, AccessCounting)

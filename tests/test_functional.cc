@@ -178,14 +178,15 @@ TEST_P(FunctionalFuzz, ReadsMatchReferenceAndInvariantsHold)
 
     // Directory consistency.
     for (CoreId h = 0; h < p.cores; ++h) {
-        m.tile(h).l2.forEach([&](const L2Cache::Entry &e) {
-            if (!e.valid)
+        m.tile(h).l2.forEach([&](L2Cache::Entry e) {
+            if (!e.valid())
                 return;
-            ASSERT_EQ(e.meta.sharers.count(), e.meta.holders.size());
-            for (const CoreId hc : e.meta.holders) {
+            ASSERT_EQ(e.meta().sharers.count(),
+                      e.meta().holders.size());
+            for (const CoreId hc : e.meta().holders) {
                 const bool present =
-                    m.tile(hc).l1d.find(e.tag) != nullptr ||
-                    m.tile(hc).l1i.find(e.tag) != nullptr;
+                    m.tile(hc).l1d.find(e.tag()) ||
+                    m.tile(hc).l1i.find(e.tag());
                 ASSERT_TRUE(present);
             }
         });

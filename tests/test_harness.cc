@@ -309,6 +309,36 @@ TEST(Runner, ParallelSweepBitIdenticalToSerial)
 }
 
 // ---------------------------------------------------------------------------
+// Throughput mode: --repeat determinism
+// ---------------------------------------------------------------------------
+
+TEST(Runner, RepeatedJobsProduceIdenticalStats)
+{
+    std::vector<Job> jobs;
+    jobs.push_back({"matmul", smallConfig(), "repeat probe"});
+
+    SweepOptions once;
+    once.jobs = 1;
+    once.opScale = kTinyScale;
+    once.progress = false;
+    SweepOptions thrice = once;
+    thrice.repeat = 3;
+
+    const auto r1 = runSweep(jobs, once);
+    const auto r3 = runSweep(jobs, thrice);
+    ASSERT_EQ(r1.size(), 1u);
+    ASSERT_EQ(r3.size(), 1u);
+
+    // Simulated results are bit-identical across repeats; only the
+    // wall-clock bookkeeping differs.
+    EXPECT_EQ(toJson(r3[0].result).dump(0), toJson(r1[0].result).dump(0));
+    EXPECT_EQ(r1[0].repeats, 1u);
+    EXPECT_EQ(r3[0].repeats, 3u);
+    EXPECT_GT(r3[0].result.simOps, 0u);
+    EXPECT_GE(r3[0].wallSeconds, 0.0);
+}
+
+// ---------------------------------------------------------------------------
 // Sink: document schema + file emission
 // ---------------------------------------------------------------------------
 
@@ -379,4 +409,20 @@ TEST(Sink, SweepDocumentRecordsRuns)
     EXPECT_EQ(run.at("config").at("num_cores").asUint(), 64u);
     EXPECT_GT(run.at("result").at("completion_time").asUint(), 0u);
     EXPECT_GE(run.at("wall_seconds").asDouble(), 0.0);
+
+    // Schema-v2 throughput fields: per-run trio consistent with the
+    // run's result payload, top level aggregates over runs.
+    EXPECT_EQ(doc.at("schema_version").asInt(), 2);
+    EXPECT_EQ(doc.at("repeat").asUint(), 1u);
+    EXPECT_EQ(run.at("sim_ops").asUint(),
+              run.at("result").at("sim_ops").asUint());
+    EXPECT_GT(run.at("sim_ops").asUint(), 0u);
+    EXPECT_DOUBLE_EQ(run.at("wall_ms").asDouble(),
+                     run.at("wall_seconds").asDouble() * 1e3);
+    EXPECT_GE(run.at("ops_per_sec").asDouble(), 0.0);
+    std::uint64_t total_ops = 0;
+    for (const auto &rr : doc.at("runs").elements())
+        total_ops += rr.at("sim_ops").asUint();
+    EXPECT_EQ(doc.at("sim_ops").asUint(), total_ops);
+    EXPECT_GE(doc.at("ops_per_sec").asDouble(), 0.0);
 }

@@ -53,10 +53,10 @@ TEST(Protocol, ColdReadGrantsExclusive)
 {
     Multicore m(baselineCfg());
     m.testAccess(0, kA, false);
-    const auto *e = m.tile(0).l1d.find(kA >> 6);
-    ASSERT_NE(e, nullptr);
-    EXPECT_EQ(e->meta.state, L1State::Exclusive);
-    EXPECT_EQ(e->meta.privateUtil, 1u);
+    const auto e = m.tile(0).l1d.find(kA >> 6);
+    ASSERT_TRUE(e);
+    EXPECT_EQ(e.meta().state, L1State::Exclusive);
+    EXPECT_EQ(e.meta().privateUtil, 1u);
     EXPECT_EQ(m.stats().protocol.privateReadGrants, 1u);
     EXPECT_EQ(m.stats().protocol.dramFetches, 1u);
     EXPECT_EQ(m.stats().perCore.size(), 4u);
@@ -72,8 +72,8 @@ TEST(Protocol, SecondReadHitsAndCountsUtilization)
     m.testAccess(0, kA, false);
     const Cycle t2 = m.tile(0).now;
     EXPECT_EQ(t2 - t1, 1u); // L1 hit latency
-    const auto *e = m.tile(0).l1d.find(kA >> 6);
-    EXPECT_EQ(e->meta.privateUtil, 2u);
+    const auto e = m.tile(0).l1d.find(kA >> 6);
+    EXPECT_EQ(e.meta().privateUtil, 2u);
     EXPECT_EQ(m.tile(0).stats.l1d.misses(), 1u);
 }
 
@@ -82,8 +82,8 @@ TEST(Protocol, WriteHitOnExclusiveSilentlyUpgrades)
     Multicore m(baselineCfg());
     m.testAccess(0, kA, false);
     m.testAccess(0, kA, true); // E -> M without a directory trip
-    const auto *e = m.tile(0).l1d.find(kA >> 6);
-    EXPECT_EQ(e->meta.state, L1State::Modified);
+    const auto e = m.tile(0).l1d.find(kA >> 6);
+    EXPECT_EQ(e.meta().state, L1State::Modified);
     EXPECT_EQ(m.stats().protocol.upgradeGrants, 0u);
     EXPECT_EQ(m.tile(0).stats.l1d.misses(), 1u);
 }
@@ -93,15 +93,15 @@ TEST(Protocol, PrivatePageHomesAtFirstToucher)
     Multicore m(baselineCfg());
     m.testAccess(2, kA, false);
     // Page private to core 2: the line lives in core 2's L2 slice.
-    EXPECT_NE(m.tile(2).l2.find(kA >> 6), nullptr);
-    EXPECT_EQ(m.tile(0).l2.find(kA >> 6), nullptr);
+    EXPECT_TRUE(m.tile(2).l2.find(kA >> 6));
+    EXPECT_FALSE(m.tile(0).l2.find(kA >> 6));
 }
 
 TEST(Protocol, SecondCoreRehomesPage)
 {
     Multicore m(baselineCfg());
     m.testAccess(2, kA, false);
-    EXPECT_NE(m.tile(2).l2.find(kA >> 6), nullptr);
+    EXPECT_TRUE(m.tile(2).l2.find(kA >> 6));
     m.testAccess(1, kA, false);
     // Page now shared: old copy flushed from core 2's slice and the
     // line re-fetched at its hash home.
@@ -109,7 +109,7 @@ TEST(Protocol, SecondCoreRehomesPage)
     EXPECT_EQ(m.pageTable().lookup(kA >> 12)->cls,
               PageClass::SharedData);
     const CoreId home = m.placement().sharedHome(kA >> 6);
-    EXPECT_NE(m.tile(home).l2.find(kA >> 6), nullptr);
+    EXPECT_TRUE(m.tile(home).l2.find(kA >> 6));
 }
 
 TEST(Protocol, TwoReadersShareLine)
@@ -118,18 +118,18 @@ TEST(Protocol, TwoReadersShareLine)
     m.testAccess(0, kA, false);
     m.testAccess(1, kA, false);
     m.testAccess(0, kA, false); // re-fetch after rehome flush
-    const auto *e0 = m.tile(0).l1d.find(kA >> 6);
-    const auto *e1 = m.tile(1).l1d.find(kA >> 6);
-    ASSERT_NE(e0, nullptr);
-    ASSERT_NE(e1, nullptr);
-    EXPECT_EQ(e1->meta.state, L1State::Shared);
-    EXPECT_EQ(e0->meta.state, L1State::Shared);
+    const auto e0 = m.tile(0).l1d.find(kA >> 6);
+    const auto e1 = m.tile(1).l1d.find(kA >> 6);
+    ASSERT_TRUE(e0);
+    ASSERT_TRUE(e1);
+    EXPECT_EQ(e1.meta().state, L1State::Shared);
+    EXPECT_EQ(e0.meta().state, L1State::Shared);
     const CoreId home = m.placement().sharedHome(kA >> 6);
-    const auto *l2e = m.tile(home).l2.find(kA >> 6);
-    ASSERT_NE(l2e, nullptr);
-    EXPECT_EQ(l2e->meta.dstate, DirState::Shared);
-    EXPECT_EQ(l2e->meta.holders.size(), 2u);
-    EXPECT_EQ(l2e->meta.sharers.count(), 2u);
+    const auto l2e = m.tile(home).l2.find(kA >> 6);
+    ASSERT_TRUE(l2e);
+    EXPECT_EQ(l2e.meta().dstate, DirState::Shared);
+    EXPECT_EQ(l2e.meta().holders.size(), 2u);
+    EXPECT_EQ(l2e.meta().sharers.count(), 2u);
 }
 
 TEST(Protocol, WriteInvalidatesReaders)
@@ -141,11 +141,11 @@ TEST(Protocol, WriteInvalidatesReaders)
     const auto inval_before = m.stats().protocol.invalidationsSent;
     m.testAccess(2, kA, true);
     EXPECT_EQ(m.stats().protocol.invalidationsSent, inval_before + 2);
-    EXPECT_EQ(m.tile(0).l1d.find(kA >> 6), nullptr);
-    EXPECT_EQ(m.tile(1).l1d.find(kA >> 6), nullptr);
-    const auto *e2 = m.tile(2).l1d.find(kA >> 6);
-    ASSERT_NE(e2, nullptr);
-    EXPECT_EQ(e2->meta.state, L1State::Modified);
+    EXPECT_FALSE(m.tile(0).l1d.find(kA >> 6));
+    EXPECT_FALSE(m.tile(1).l1d.find(kA >> 6));
+    const auto e2 = m.tile(2).l1d.find(kA >> 6);
+    ASSERT_TRUE(e2);
+    EXPECT_EQ(e2.meta().state, L1State::Modified);
     // Readers' next misses are sharing misses.
     m.testAccess(0, kA, false);
     EXPECT_EQ(m.tile(0).stats.misses.get(MissType::Sharing), 1u);
@@ -160,11 +160,11 @@ TEST(Protocol, ReadAfterWriteSyncWriteback)
     m.testAccess(3, kA, false);
     EXPECT_GE(m.stats().protocol.syncWritebacks, wb_before + 1);
     // Owner downgraded to S, both share now.
-    const auto *e1 = m.tile(1).l1d.find(kA >> 6);
-    ASSERT_NE(e1, nullptr);
-    EXPECT_EQ(e1->meta.state, L1State::Shared);
+    const auto e1 = m.tile(1).l1d.find(kA >> 6);
+    ASSERT_TRUE(e1);
+    EXPECT_EQ(e1.meta().state, L1State::Shared);
     const CoreId home = m.placement().sharedHome(kA >> 6);
-    EXPECT_EQ(m.tile(home).l2.find(kA >> 6)->meta.dstate,
+    EXPECT_EQ(m.tile(home).l2.find(kA >> 6).meta().dstate,
               DirState::Shared);
 }
 
@@ -178,11 +178,11 @@ TEST(Protocol, UpgradeMissKeepsLineAndData)
     m.testAccess(0, kA, true);
     EXPECT_EQ(m.stats().protocol.upgradeGrants, 1u);
     EXPECT_EQ(m.tile(0).stats.misses.get(MissType::Upgrade), 1u);
-    const auto *e0 = m.tile(0).l1d.find(kA >> 6);
-    ASSERT_NE(e0, nullptr);
-    EXPECT_EQ(e0->meta.state, L1State::Modified);
+    const auto e0 = m.tile(0).l1d.find(kA >> 6);
+    ASSERT_TRUE(e0);
+    EXPECT_EQ(e0.meta().state, L1State::Modified);
     // The other sharer was invalidated.
-    EXPECT_EQ(m.tile(1).l1d.find(kA >> 6), nullptr);
+    EXPECT_FALSE(m.tile(1).l1d.find(kA >> 6));
 }
 
 TEST(Protocol, EvictionNotifiesDirectoryAndClassifies)
@@ -198,11 +198,11 @@ TEST(Protocol, EvictionNotifiesDirectoryAndClassifies)
     // The victim (first line) is gone and the directory no longer
     // lists core 0 as a holder.
     const LineAddr victim = base >> 6;
-    EXPECT_EQ(m.tile(0).l1d.find(victim), nullptr);
-    const auto *l2e = m.tile(0).l2.find(victim); // private page, home 0
-    ASSERT_NE(l2e, nullptr);
-    EXPECT_TRUE(l2e->meta.holders.empty());
-    EXPECT_EQ(l2e->meta.dstate, DirState::Uncached);
+    EXPECT_FALSE(m.tile(0).l1d.find(victim));
+    const auto l2e = m.tile(0).l2.find(victim); // private page, home 0
+    ASSERT_TRUE(l2e);
+    EXPECT_TRUE(l2e.meta().holders.empty());
+    EXPECT_EQ(l2e.meta().dstate, DirState::Uncached);
     // Re-access classifies as capacity.
     m.testAccess(0, base, false);
     EXPECT_EQ(m.tile(0).stats.misses.get(MissType::Capacity), 1u);
@@ -216,9 +216,9 @@ TEST(Protocol, DirtyEvictionWritesBack)
     for (int i = 1; i < 5; ++i)
         m.testAccess(0, base + static_cast<Addr>(i) * 8 * 64, false);
     EXPECT_EQ(m.stats().protocol.dirtyWritebacks, 1u);
-    const auto *l2e = m.tile(0).l2.find(base >> 6);
-    ASSERT_NE(l2e, nullptr);
-    EXPECT_TRUE(l2e->meta.dirty);
+    const auto l2e = m.tile(0).l2.find(base >> 6);
+    ASSERT_TRUE(l2e);
+    EXPECT_TRUE(l2e.meta().dirty);
     // The write's value survived in the L2 copy.
     m.setFunctionalChecks(true);
     m.testAccess(0, base, false);
@@ -256,7 +256,7 @@ TEST(Adaptive, LowUtilizationInvalidationDemotes)
     const auto rr_before = m.stats().protocol.remoteReads;
     m.testAccess(0, kA, false);
     EXPECT_EQ(m.stats().protocol.remoteReads, rr_before + 1);
-    EXPECT_EQ(m.tile(0).l1d.find(kA >> 6), nullptr) << "no L1 copy";
+    EXPECT_FALSE(m.tile(0).l1d.find(kA >> 6)) << "no L1 copy";
     // Subsequent miss classified as a word miss.
     m.testAccess(0, kA, false);
     EXPECT_GE(m.tile(0).stats.misses.get(MissType::Word), 1u);
@@ -275,7 +275,7 @@ TEST(Adaptive, HighUtilizationSurvivesInvalidation)
     EXPECT_EQ(m.stats().protocol.demotions, 0u);
     // Core 0 remains a private sharer: next read refetches the line.
     m.testAccess(0, kA, false);
-    EXPECT_NE(m.tile(0).l1d.find(kA >> 6), nullptr);
+    EXPECT_TRUE(m.tile(0).l1d.find(kA >> 6));
 }
 
 TEST(Adaptive, RemoteSharerPromotedAfterPctAccesses)
@@ -288,11 +288,11 @@ TEST(Adaptive, RemoteSharerPromotedAfterPctAccesses)
     // at PCT = 4 remote accesses.
     for (int i = 0; i < 3; ++i) {
         m.testAccess(0, kA, false);
-        EXPECT_EQ(m.tile(0).l1d.find(kA >> 6), nullptr);
+        EXPECT_FALSE(m.tile(0).l1d.find(kA >> 6));
     }
     m.testAccess(0, kA, false); // 4th: promoted, line granted
     EXPECT_EQ(m.stats().protocol.promotions, 1u);
-    EXPECT_NE(m.tile(0).l1d.find(kA >> 6), nullptr);
+    EXPECT_TRUE(m.tile(0).l1d.find(kA >> 6));
 }
 
 TEST(Adaptive, RemoteWriteStoresWordAtL2)
@@ -304,9 +304,9 @@ TEST(Adaptive, RemoteWriteStoresWordAtL2)
     establishSharedAndDemoteCore0(m); // core 1 owns M afterwards
     m.testAccess(0, kA, true); // remote word write by core 0
     EXPECT_GE(m.stats().protocol.remoteWrites, 1u);
-    EXPECT_EQ(m.tile(0).l1d.find(kA >> 6), nullptr);
+    EXPECT_FALSE(m.tile(0).l1d.find(kA >> 6));
     // Core 1's M copy was invalidated by the write.
-    EXPECT_EQ(m.tile(1).l1d.find(kA >> 6), nullptr);
+    EXPECT_FALSE(m.tile(1).l1d.find(kA >> 6));
     // A later read sees the remote write's value.
     m.testAccess(2, kA, false);
     EXPECT_EQ(m.functionalErrors(), 0u);
@@ -324,10 +324,10 @@ TEST(Adaptive, WriteResetsOtherRemoteSharersUtilization)
     // Core 0 needs 4 fresh accesses again.
     for (int i = 0; i < 3; ++i) {
         m.testAccess(0, kA, false);
-        EXPECT_EQ(m.tile(0).l1d.find(kA >> 6), nullptr) << i;
+        EXPECT_FALSE(m.tile(0).l1d.find(kA >> 6)) << i;
     }
     m.testAccess(0, kA, false);
-    EXPECT_NE(m.tile(0).l1d.find(kA >> 6), nullptr);
+    EXPECT_TRUE(m.tile(0).l1d.find(kA >> 6));
 }
 
 TEST(Adaptive, OneWayNeverRepromotes)
@@ -340,7 +340,7 @@ TEST(Adaptive, OneWayNeverRepromotes)
     for (int i = 0; i < 40; ++i)
         m.testAccess(0, kA, false);
     EXPECT_EQ(m.stats().protocol.promotions, 0u);
-    EXPECT_EQ(m.tile(0).l1d.find(kA >> 6), nullptr);
+    EXPECT_FALSE(m.tile(0).l1d.find(kA >> 6));
 }
 
 TEST(Adaptive, PromotedLineClassifiedWithEpochUtilization)
@@ -375,17 +375,17 @@ TEST(Ackwise, OverflowBroadcastsInvalidation)
     m.testAccess(0, kA, false);
     m.testAccess(2, kA, false);
     const CoreId home = m.placement().sharedHome(kA >> 6);
-    const auto *l2e = m.tile(home).l2.find(kA >> 6);
-    ASSERT_NE(l2e, nullptr);
-    EXPECT_TRUE(l2e->meta.sharers.overflowed());
-    EXPECT_EQ(l2e->meta.sharers.count(), 3u);
+    const auto l2e = m.tile(home).l2.find(kA >> 6);
+    ASSERT_TRUE(l2e);
+    EXPECT_TRUE(l2e.meta().sharers.overflowed());
+    EXPECT_EQ(l2e.meta().sharers.count(), 3u);
 
     m.testAccess(3, kA, true);
     EXPECT_EQ(m.stats().protocol.broadcastInvals, 1u);
-    EXPECT_FALSE(l2e->meta.sharers.overflowed()) << "reset after inval";
-    EXPECT_EQ(l2e->meta.sharers.count(), 1u);
-    EXPECT_EQ(l2e->meta.holders.size(), 1u);
-    EXPECT_EQ(l2e->meta.holders[0], 3);
+    EXPECT_FALSE(l2e.meta().sharers.overflowed()) << "reset after inval";
+    EXPECT_EQ(l2e.meta().sharers.count(), 1u);
+    EXPECT_EQ(l2e.meta().holders.size(), 1u);
+    EXPECT_EQ(l2e.meta().holders[0], 3);
 }
 
 TEST(Ackwise, FullMapNeverBroadcasts)
@@ -420,8 +420,8 @@ TEST(Protocol, L2EvictionBackInvalidatesL1)
     EXPECT_GT(m.stats().protocol.l2Evictions, 0u);
     // Inclusion: no L1 line may exist without its L2 home entry.
     std::uint64_t orphans = 0;
-    m.tile(0).l1d.forEach([&](const L1Cache::Entry &e) {
-        if (e.valid && m.tile(0).l2.find(e.tag) == nullptr)
+    m.tile(0).l1d.forEach([&](L1Cache::Entry e) {
+        if (e.valid() && !m.tile(0).l2.find(e.tag()))
             ++orphans;
     });
     EXPECT_EQ(orphans, 0u);
@@ -448,9 +448,9 @@ TEST(Protocol, RatEscalatesThroughEngine)
         m.testAccess(0, hot(i), false);
     // Target was evicted with util 1 -> demoted with RAT level 1.
     const CoreId home = 0; // private page of core 0
-    const auto *entry = m.tile(home).l2.find(target >> 6);
-    ASSERT_NE(entry, nullptr);
-    const auto *rec = m.classifier().peek(*entry->meta.cls, 0);
+    const auto entry = m.tile(home).l2.find(target >> 6);
+    ASSERT_TRUE(entry);
+    const auto *rec = m.classifier().peek(*entry.meta().cls, 0);
     ASSERT_NE(rec, nullptr);
     EXPECT_EQ(rec->mode, Mode::Remote);
     EXPECT_EQ(rec->ratLevel, 1u);
@@ -461,13 +461,13 @@ TEST(Protocol, RatEscalatesThroughEngine)
         for (int i = 0; i < 4; ++i)
             m.testAccess(0, hot(i), false);
         m.testAccess(0, target, false);
-        ASSERT_EQ(m.tile(0).l1d.find(target >> 6), nullptr)
+        ASSERT_FALSE(m.tile(0).l1d.find(target >> 6))
             << "promoted too early at round " << round;
     }
     for (int i = 0; i < 4; ++i)
         m.testAccess(0, hot(i), false);
     m.testAccess(0, target, false); // 16th remote access: promoted
-    EXPECT_NE(m.tile(0).l1d.find(target >> 6), nullptr);
+    EXPECT_TRUE(m.tile(0).l1d.find(target >> 6));
 }
 
 TEST(Protocol, InstructionLinesReplicatePerCluster)
@@ -492,12 +492,12 @@ TEST(Protocol, InstructionLinesReplicatePerCluster)
               PageClass::Instruction);
     std::uint32_t replicas = 0;
     for (CoreId h = 0; h < 4; ++h)
-        replicas += m.tile(h).l2.find(code >> 6) != nullptr;
+        replicas += static_cast<bool>(m.tile(h).l2.find(code >> 6));
     EXPECT_EQ(replicas, 2u);
     EXPECT_EQ(st.protocol.invalidationsSent, 0u);
     // Both fetchers hold L1-I copies.
-    EXPECT_NE(m.tile(0).l1i.find(code >> 6), nullptr);
-    EXPECT_NE(m.tile(2).l1i.find(code >> 6), nullptr);
+    EXPECT_TRUE(m.tile(0).l1i.find(code >> 6));
+    EXPECT_TRUE(m.tile(2).l1i.find(code >> 6));
 }
 
 // ---------------------------------------------------------------------

@@ -100,6 +100,39 @@ TEST(Experiment, RunBenchmarkProducesStats)
     EXPECT_GT(r.energyTotal, 0.0);
     EXPECT_EQ(r.functionalErrors, 0u);
     EXPECT_EQ(r.stats.perCore.size(), 16u);
+
+    // sim_ops (the throughput numerator) sums the per-core retired
+    // instruction counts.
+    std::uint64_t instructions = 0;
+    for (const auto &c : r.stats.perCore)
+        instructions += c.instructions;
+    EXPECT_GT(r.simOps, 0u);
+    EXPECT_EQ(r.simOps, instructions);
+}
+
+TEST(Experiment, SimOpsRoundTripsThroughJson)
+{
+    SystemConfig cfg = defaultConfig();
+    cfg.numCores = 16;
+    cfg.meshWidth = 4;
+    cfg.numMemControllers = 4;
+    const auto r = runBenchmark("water-sp", cfg, 0.02);
+    ASSERT_GT(r.simOps, 0u);
+
+    const Json j = toJson(r);
+    EXPECT_EQ(j.at("sim_ops").asUint(), r.simOps);
+    const RunResult back = runResultFromJson(j);
+    EXPECT_EQ(back.simOps, r.simOps);
+
+    // Schema-v1 documents predate sim_ops: reconstruction must not
+    // require it.
+    Json legacy = Json::object();
+    for (const auto &[key, value] : j.items())
+        if (key != "sim_ops")
+            legacy[key] = value;
+    const RunResult old = runResultFromJson(legacy);
+    EXPECT_EQ(old.simOps, 0u);
+    EXPECT_EQ(old.completionTime, r.completionTime);
 }
 
 } // namespace

@@ -7,12 +7,128 @@
 #include <gtest/gtest.h>
 
 #include "sim/config.hh"
+#include "sim/flat_map.hh"
+#include "sim/functional.hh"
 #include "sim/rng.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
 namespace lacc {
 namespace {
+
+TEST(FlatAddrMap, FindOnEmptyAndInsert)
+{
+    FlatAddrMap<int> m;
+    EXPECT_TRUE(m.empty());
+    EXPECT_EQ(m.find(0x42), nullptr);
+    m[0x42] = 7;
+    EXPECT_EQ(m.size(), 1u);
+    ASSERT_NE(m.find(0x42), nullptr);
+    EXPECT_EQ(*m.find(0x42), 7);
+    EXPECT_EQ(m.find(0x43), nullptr);
+}
+
+TEST(FlatAddrMap, OperatorBracketIsInsertOrGet)
+{
+    FlatAddrMap<int> m;
+    m[5] = 1;
+    m[5] = 2; // overwrite, no new entry
+    EXPECT_EQ(m.size(), 1u);
+    EXPECT_EQ(*m.find(5), 2);
+    EXPECT_EQ(m[9], 0) << "fresh entries are value-initialized";
+    EXPECT_EQ(m.size(), 2u);
+}
+
+TEST(FlatAddrMap, SurvivesGrowthWithManyAlignedKeys)
+{
+    // Page- and line-aligned keys (the simulator's key shapes) across
+    // several growth steps; every entry must remain findable.
+    FlatAddrMap<std::uint64_t> m;
+    for (std::uint64_t i = 0; i < 5000; ++i)
+        m[(i << 12) | 0x100000000ULL] = i;
+    EXPECT_EQ(m.size(), 5000u);
+    for (std::uint64_t i = 0; i < 5000; ++i) {
+        const auto *v = m.find((i << 12) | 0x100000000ULL);
+        ASSERT_NE(v, nullptr) << i;
+        EXPECT_EQ(*v, i);
+    }
+}
+
+TEST(FlatAddrMap, ReservePreventsRehash)
+{
+    FlatAddrMap<int> m(1000);
+    for (std::uint64_t i = 0; i < 1000; ++i)
+        m[i * 64] = static_cast<int>(i);
+    EXPECT_EQ(m.size(), 1000u);
+    EXPECT_EQ(*m.find(64 * 999), 999);
+}
+
+TEST(FlatAddrMap, ForEachVisitsEveryEntryOnce)
+{
+    FlatAddrMap<std::uint64_t> m;
+    std::uint64_t key_sum = 0, val_sum = 0;
+    for (std::uint64_t i = 1; i <= 100; ++i) {
+        m[i * 4096] = i;
+        key_sum += i * 4096;
+        val_sum += i;
+    }
+    std::uint64_t ks = 0, vs = 0;
+    std::size_t n = 0;
+    m.forEach([&](std::uint64_t k, const std::uint64_t &v) {
+        ks += k;
+        vs += v;
+        ++n;
+    });
+    EXPECT_EQ(n, 100u);
+    EXPECT_EQ(ks, key_sum);
+    EXPECT_EQ(vs, val_sum);
+}
+
+TEST(FunctionalMemory, WordAddrMasksToWordGranularity)
+{
+    EXPECT_EQ(FunctionalMemory::wordAddr(0x1000), 0x1000u);
+    EXPECT_EQ(FunctionalMemory::wordAddr(0x1001), 0x1000u);
+    EXPECT_EQ(FunctionalMemory::wordAddr(0x1007), 0x1000u);
+    EXPECT_EQ(FunctionalMemory::wordAddr(0x1008), 0x1008u);
+}
+
+TEST(FunctionalMemory, WriteAndCheckShareWordGranularity)
+{
+    // All byte addresses of one 64-bit word alias the same reference
+    // cell (write and checkRead use the same wordAddr helper).
+    FunctionalMemory m;
+    m.reserveFootprint(64);
+    m.write(0x2003, 42);
+    m.checkRead(0x2000, 42);
+    m.checkRead(0x2007, 42);
+    EXPECT_EQ(m.errors(), 0u);
+    m.checkRead(0x2008, 42); // different word: expects 0
+    EXPECT_EQ(m.errors(), 1u);
+}
+
+TEST(FunctionalMemory, DisabledChecksRecordNothing)
+{
+    FunctionalMemory m;
+    m.setChecks(false);
+    m.reserveFootprint(1 << 20); // no-op when disabled
+    m.write(0x3000, 7);
+    m.checkRead(0x3000, 99); // no golden copy -> no mismatch
+    EXPECT_EQ(m.errors(), 0u);
+}
+
+TEST(MixAddrHash, MixesLowEntropyKeys)
+{
+    // Page-aligned keys must spread across low-order hash bits (the
+    // identity hash would leave them all zero modulo a power of two).
+    std::size_t distinct = 0;
+    std::vector<bool> seen(256, false);
+    for (std::uint64_t p = 0; p < 256; ++p) {
+        const auto h = MixAddrHash{}(p << 12) & 0xFF;
+        distinct += !seen[h];
+        seen[h] = true;
+    }
+    EXPECT_GT(distinct, 128u);
+}
 
 TEST(Rng, DeterministicAcrossInstances)
 {

@@ -78,41 +78,44 @@ checkSystemInvariants(Multicore &m, const SystemStats &st)
     std::uint64_t l1_lines = 0;
     for (CoreId c = 0; c < cfg.numCores; ++c) {
         for (L1Cache *l1 : {&m.tile(c).l1d, &m.tile(c).l1i}) {
-            l1->forEach([&](const L1Cache::Entry &e) {
-                if (!e.valid)
+            l1->forEach([&](L1Cache::Entry e) {
+                if (!e.valid())
                     return;
                 ++l1_lines;
                 bool found = false;
                 for (CoreId h = 0; h < cfg.numCores && !found; ++h) {
-                    const auto *l2e = m.tile(h).l2.find(e.tag);
-                    if (l2e == nullptr)
+                    const auto l2e = m.tile(h).l2.find(e.tag());
+                    if (!l2e)
                         continue;
-                    for (const CoreId hc : l2e->meta.holders)
+                    for (const CoreId hc : l2e.meta().holders)
                         found |= hc == c;
                 }
                 EXPECT_TRUE(found)
-                    << "orphan L1 line " << std::hex << e.tag;
+                    << "orphan L1 line " << std::hex << e.tag();
             });
         }
     }
 
     std::uint64_t holder_refs = 0;
     for (CoreId h = 0; h < cfg.numCores; ++h) {
-        m.tile(h).l2.forEach([&](const L2Cache::Entry &e) {
-            if (!e.valid)
+        m.tile(h).l2.forEach([&](L2Cache::Entry e) {
+            if (!e.valid())
                 return;
-            holder_refs += e.meta.holders.size();
-            EXPECT_EQ(e.meta.sharers.count(), e.meta.holders.size());
-            if (e.meta.dstate == DirState::Exclusive) {
-                EXPECT_EQ(e.meta.holders.size(), 1u);
-                EXPECT_EQ(e.meta.holders[0], e.meta.owner);
+            holder_refs += e.meta().holders.size();
+            EXPECT_EQ(e.meta().sharers.count(),
+                      e.meta().holders.size());
+            if (e.meta().dstate == DirState::Exclusive) {
+                EXPECT_EQ(e.meta().holders.size(), 1u);
+                EXPECT_EQ(e.meta().holders[0], e.meta().owner);
             }
-            if (e.meta.dstate == DirState::Uncached)
-                EXPECT_TRUE(e.meta.holders.empty());
+            if (e.meta().dstate == DirState::Uncached)
+                EXPECT_TRUE(e.meta().holders.empty());
             // Every holder really has the line.
-            for (const CoreId hc : e.meta.holders) {
-                const bool in_d = m.tile(hc).l1d.find(e.tag) != nullptr;
-                const bool in_i = m.tile(hc).l1i.find(e.tag) != nullptr;
+            for (const CoreId hc : e.meta().holders) {
+                const bool in_d =
+                    static_cast<bool>(m.tile(hc).l1d.find(e.tag()));
+                const bool in_i =
+                    static_cast<bool>(m.tile(hc).l1i.find(e.tag()));
                 EXPECT_TRUE(in_d || in_i);
             }
         });

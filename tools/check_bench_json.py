@@ -3,15 +3,16 @@
 
 Used by the perf-smoke CI job: fails (exit 1) on missing, empty,
 unparseable, or schema-violating documents so malformed artifacts never
-get archived as a "good" perf record. Schema v1 is documented in
-docs/BENCHMARKS.md.
+get archived as a "good" perf record. Schema v2 (v1 plus the
+throughput fields repeat / sim_ops / wall_ms / ops_per_sec) is
+documented in docs/BENCHMARKS.md.
 """
 
 import json
 import sys
 from pathlib import Path
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 # Config-only tables legitimately run zero simulations.
 NO_SWEEP_EXPERIMENTS = {"table1", "table2"}
@@ -22,13 +23,26 @@ TOP_LEVEL_KEYS = {
     "title",
     "description",
     "op_scale",
+    "repeat",
     "jobs",
     "wall_seconds",
+    "sim_ops",
+    "wall_ms",
+    "ops_per_sec",
     "figure",
     "runs",
 }
 
-RUN_KEYS = {"label", "bench", "wall_seconds", "config", "result"}
+RUN_KEYS = {
+    "label",
+    "bench",
+    "wall_seconds",
+    "sim_ops",
+    "wall_ms",
+    "ops_per_sec",
+    "config",
+    "result",
+}
 
 CONFIG_KEYS = {"num_cores", "pct", "classifier", "directory", "seed"}
 
@@ -36,6 +50,7 @@ RESULT_KEYS = {
     "completion_time",
     "energy_total",
     "functional_errors",
+    "sim_ops",
     "stats",
 }
 
@@ -97,6 +112,16 @@ def check_document(path):
 
     if not (isinstance(doc["op_scale"], (int, float)) and doc["op_scale"] > 0):
         return fail(path, f"bad op_scale {doc['op_scale']!r}")
+    if not (isinstance(doc["repeat"], int) and doc["repeat"] >= 1):
+        return fail(path, f"bad repeat {doc['repeat']!r}")
+    if runs and name not in NO_SWEEP_EXPERIMENTS:
+        if not (isinstance(doc["sim_ops"], int) and doc["sim_ops"] > 0):
+            return fail(path, f"bad sim_ops {doc['sim_ops']!r}")
+        if not (
+            isinstance(doc["ops_per_sec"], (int, float))
+            and doc["ops_per_sec"] > 0
+        ):
+            return fail(path, f"bad ops_per_sec {doc['ops_per_sec']!r}")
 
     for i, run in enumerate(runs):
         where = f"runs[{i}]"
@@ -121,6 +146,11 @@ def check_document(path):
             )
         if run["result"]["completion_time"] <= 0:
             return fail(path, f"{where} has zero completion_time")
+        if run["sim_ops"] != run["result"]["sim_ops"]:
+            return fail(
+                path,
+                f"{where} sim_ops mismatches its result payload",
+            )
 
     print(f"ok   {path}: {name}, {len(runs)} runs")
     return True

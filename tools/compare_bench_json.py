@@ -4,10 +4,16 @@
 Prints per-experiment deltas of the headline metrics (completion time,
 total energy, run counts) plus per-run regressions beyond a threshold,
 so a perf PR's artifact can be compared against the previous commit's
-artifact at a glance. Wall-clock fields are reported informationally
-but never affect the exit status (they depend on the machine), and
-runs are matched by label so grid reorderings are detected rather than
-misattributed.
+artifact at a glance. Wall-clock fields — including the simulator
+throughput (ops/sec) comparison table printed at the end — are
+reported informationally but never affect the exit status (they depend
+on the machine), and runs are matched by label so grid reorderings are
+detected rather than misattributed.
+
+Throughput: schema-v2 documents carry ops_per_sec directly; for v1
+documents the rate is derived from the per-run instruction totals and
+wall clocks, so old/new artifacts of different schema versions still
+produce a speedup column.
 
 Exit codes:
   0  both directories parsed and every common experiment matched
@@ -22,6 +28,7 @@ Typical CI usage (non-gating, informational):
 
 import argparse
 import json
+import math
 import sys
 from pathlib import Path
 
@@ -58,6 +65,59 @@ def rel_delta(old, new):
         # A missing metric (schema drift) is always a reportable diff.
         return float("inf")
     return abs(new - old) / abs(old)
+
+
+def ops_per_sec(doc):
+    """Simulator throughput of one document (0.0 when underivable).
+
+    Schema v2 carries the rate; v1 documents derive it from each run's
+    summed instruction count and wall clock.
+    """
+    rate = doc.get("ops_per_sec")
+    if isinstance(rate, (int, float)) and rate > 0:
+        return float(rate)
+    ops = 0
+    wall = 0.0
+    for run in doc.get("runs", []):
+        wall += run.get("wall_seconds", 0.0)
+        sim_ops = run.get("sim_ops")
+        if sim_ops is None:
+            sim_ops = (
+                run.get("result", {})
+                .get("stats", {})
+                .get("core_totals", {})
+                .get("instructions", 0)
+            )
+        ops += sim_ops * doc.get("repeat", 1)
+    return ops / wall if wall > 0 else 0.0
+
+
+def print_throughput_table(old_docs, new_docs):
+    """Informational ops/sec comparison; never affects the exit code."""
+    rows = []
+    speedups = []
+    for name in sorted(set(old_docs) & set(new_docs)):
+        old_rate = ops_per_sec(old_docs[name])
+        new_rate = ops_per_sec(new_docs[name])
+        if old_rate > 0 and new_rate > 0:
+            speedup = new_rate / old_rate
+            speedups.append(speedup)
+            rows.append((name, old_rate, new_rate, f"{speedup:.2f}x"))
+        else:
+            rows.append((name, old_rate, new_rate, "n/a"))
+    if not rows:
+        return
+    print()
+    print("Simulator throughput (informational; machine-dependent):")
+    print(f"  {'experiment':<12} {'old ops/sec':>14} {'new ops/sec':>14}"
+          f" {'speedup':>8}")
+    for name, old_rate, new_rate, speedup in rows:
+        print(f"  {name:<12} {old_rate:>14,.0f} {new_rate:>14,.0f}"
+              f" {speedup:>8}")
+    if speedups:
+        geo = math.exp(sum(math.log(s) for s in speedups) / len(speedups))
+        print(f"  geomean speedup: {geo:.2f}x over {len(speedups)}"
+              " experiment(s)")
 
 
 def duplicate_labels(runs):
@@ -163,6 +223,8 @@ def main(argv):
         for line in lines:
             print(line)
         drift += exp_drift
+
+    print_throughput_table(old_docs, new_docs)
 
     if drift:
         print(f"DRIFT: {drift} simulated-metric difference(s) beyond"
