@@ -1,0 +1,16 @@
+/**
+ * @file
+ * Extension experiment: topology sensitivity of the adaptive protocol
+ * — directory variants {ACKwise2, ACKwise4, FullMap} across the
+ * {mesh, torus, ring, xbar} fabrics. Thin shim over the harness
+ * experiment "network" (src/harness/experiments.cc); prefer
+ * `lacc_bench --filter network`.
+ */
+
+#include "harness/sink.hh"
+
+int
+main()
+{
+    return lacc::harness::runLegacyMain("network");
+}

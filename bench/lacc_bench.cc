@@ -6,11 +6,13 @@
  * BENCH_<experiment>.json result files (docs/BENCHMARKS.md).
  *
  * Usage:
- *   lacc_bench --list
+ *   lacc_bench --list | --list-protocols | --list-networks
  *   lacc_bench [--filter SUBSTR] [--jobs N] [--scale X] [--repeat N]
- *              [--protocol NAME] [--json-dir DIR] [--quiet]
+ *              [--protocol NAME] [--network NAME] [--json-dir DIR]
+ *              [--quiet]
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -21,6 +23,7 @@
 #include "harness/registry.hh"
 #include "harness/runner.hh"
 #include "harness/sink.hh"
+#include "net/factory.hh"
 #include "protocol/factory.hh"
 #include "sim/log.hh"
 
@@ -41,6 +44,9 @@ usage(std::FILE *to)
         "\n"
         "options:\n"
         "  --list            list experiments and exit\n"
+        "  --list-protocols  list coherence-protocol names and exit\n"
+        "  --list-networks   list interconnect-topology names and"
+        " exit\n"
         "  --filter SUBSTR   only experiments whose name contains"
         " SUBSTR\n"
         "  --jobs N          worker threads for the sweeps"
@@ -50,7 +56,9 @@ usage(std::FILE *to)
         "                    mode: stats are identical across repeats,\n"
         "                    wall-clock/ops_per_sec fields accumulate)\n"
         "  --protocol NAME   force every run onto a named coherence\n"
-        "                    protocol (lacc, fullmap)\n"
+        "                    protocol (see --list-protocols)\n"
+        "  --network NAME    force every run onto a named interconnect\n"
+        "                    topology (see --list-networks)\n"
         "  --json-dir DIR    write BENCH_<experiment>.json into DIR\n"
         "  --quiet           suppress per-run progress on stderr\n"
         "  --help            this message\n");
@@ -73,6 +81,31 @@ parseUnsigned(const char *s, unsigned &out)
         return false;
     out = static_cast<unsigned>(v);
     return true;
+}
+
+std::string
+joined(const std::vector<std::string> &names)
+{
+    std::string out;
+    for (const auto &n : names)
+        out += (out.empty() ? "" : ", ") + n;
+    return out;
+}
+
+/**
+ * Validate a --protocol/--network value against its factory's name
+ * list up front, so a typo fails with the valid keys on one line
+ * instead of dying mid-sweep in a worker thread.
+ */
+bool
+validateName(const char *what, const std::string &value,
+             const std::vector<std::string> &names)
+{
+    if (std::find(names.begin(), names.end(), value) != names.end())
+        return true;
+    std::fprintf(stderr, "unknown %s '%s' (valid: %s)\n", what,
+                 value.c_str(), joined(names).c_str());
+    return false;
 }
 
 } // namespace
@@ -102,6 +135,14 @@ main(int argc, char **argv)
             return 0;
         } else if (arg == "--list") {
             list = true;
+        } else if (arg == "--list-protocols") {
+            for (const auto &name : protocolNames())
+                std::printf("%s\n", name.c_str());
+            return 0;
+        } else if (arg == "--list-networks") {
+            for (const auto &name : networkNames())
+                std::printf("%s\n", name.c_str());
+            return 0;
         } else if (arg == "--filter") {
             filter = value("--filter");
         } else if (arg == "--jobs") {
@@ -125,10 +166,13 @@ main(int argc, char **argv)
             }
         } else if (arg == "--protocol") {
             opts.protocol = value("--protocol");
-            // Validate up front (fatal names the known protocols)
-            // instead of dying mid-sweep in a worker thread.
-            SystemConfig probe;
-            applyProtocolName(probe, opts.protocol);
+            if (!validateName("protocol", opts.protocol,
+                              protocolNames()))
+                return 2;
+        } else if (arg == "--network") {
+            opts.network = value("--network");
+            if (!validateName("network", opts.network, networkNames()))
+                return 2;
         } else if (arg == "--json-dir") {
             jsonDir = value("--json-dir");
         } else if (arg == "--quiet") {

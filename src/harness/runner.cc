@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <thread>
 
+#include "net/factory.hh"
 #include "protocol/factory.hh"
 
 namespace lacc::harness {
@@ -37,25 +38,32 @@ runSweep(const std::vector<Job> &jobs, const SweepOptions &opts)
 
     const double scale = resolveOpScale(opts);
 
-    // A --protocol override rewrites job configs but not their labels:
-    // an experiment that deliberately sweeps protocols (e.g. ackwise)
-    // would print rows whose label names one protocol and whose
-    // numbers came from another. Make that loudly visible.
-    if (!opts.protocol.empty()) {
-        std::size_t overridden = 0;
-        for (const auto &j : jobs)
-            if (opts.protocol != protocolNameFor(j.cfg))
-                ++overridden;
-        if (overridden > 0) {
-            std::fprintf(stderr,
-                         "[bench] warning: --protocol %s overrides"
-                         " %zu/%zu jobs whose configs select a"
-                         " different protocol; labels and table rows"
-                         " keep their original protocol names\n",
-                         opts.protocol.c_str(), overridden,
-                         jobs.size());
-        }
-    }
+    // A --protocol/--network override rewrites job configs but not
+    // their labels: an experiment that deliberately sweeps protocols
+    // or topologies (e.g. ackwise, network) would print rows whose
+    // label names one variant and whose numbers came from another.
+    // Make that loudly visible.
+    const auto warn_override =
+        [&jobs](const char *what, const std::string &value,
+                const char *(*name_for)(const SystemConfig &)) {
+            if (value.empty())
+                return;
+            std::size_t overridden = 0;
+            for (const auto &j : jobs)
+                if (value != name_for(j.cfg))
+                    ++overridden;
+            if (overridden > 0) {
+                std::fprintf(stderr,
+                             "[bench] warning: --%s %s overrides"
+                             " %zu/%zu jobs whose configs select a"
+                             " different %s; labels and table rows"
+                             " keep their original %s names\n",
+                             what, value.c_str(), overridden,
+                             jobs.size(), what, what);
+            }
+        };
+    warn_override("protocol", opts.protocol, protocolNameFor);
+    warn_override("network", opts.network, networkNameFor);
 
     const unsigned repeat = opts.effectiveRepeat();
     std::atomic<std::size_t> next{0};
@@ -69,6 +77,8 @@ runSweep(const std::vector<Job> &jobs, const SweepOptions &opts)
             Job job = jobs[i];
             if (!opts.protocol.empty())
                 applyProtocolName(job.cfg, opts.protocol);
+            if (!opts.network.empty())
+                applyNetworkName(job.cfg, opts.network);
             if (opts.progress)
                 std::fprintf(stderr, "[bench] %s\n", job.label.c_str());
             // Repeats are bit-identical (deterministic simulation);

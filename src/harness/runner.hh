@@ -66,6 +66,12 @@ struct SweepOptions
      * job's configured protocol. Maps onto `lacc_bench --protocol`.
      */
     std::string protocol;
+    /**
+     * Force every job onto a named interconnect topology
+     * (net/factory.hh names, e.g. "torus"); empty = run each job's
+     * configured network. Maps onto `lacc_bench --network`.
+     */
+    std::string network;
 };
 
 /** @return @p opts.opScale if positive, else the LACC_SCALE value. */

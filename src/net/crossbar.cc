@@ -1,0 +1,63 @@
+#include "net/crossbar.hh"
+
+#include <algorithm>
+
+namespace lacc {
+
+CrossbarNetwork::CrossbarNetwork(const SystemConfig &cfg,
+                                 EnergyModel &energy)
+    // One contention slot per destination: the crossbar's output
+    // ports are the only shared resource (the switch itself is
+    // non-blocking).
+    : NetworkModel(cfg, energy, cfg.numCores)
+{}
+
+Cycle
+CrossbarNetwork::unicast(CoreId src, CoreId dst, std::uint32_t flits,
+                         Cycle depart)
+{
+    ++stats_.unicasts;
+    stats_.flitsInjected += flits;
+    if (src == dst)
+        return depart; // local slice: no network traversal
+
+    // One switch traversal; the destination output port is the
+    // contended link.
+    const Cycle t = traverseLink(dst, depart, flits);
+    stats_.flitHops += flits;
+    energy_.addRouter(flits);
+    energy_.addLink(flits);
+    // Wormhole serialization: tail arrives flits-1 cycles after head.
+    return t + (flits > 0 ? flits - 1 : 0);
+}
+
+Cycle
+CrossbarNetwork::broadcast(CoreId src, std::uint32_t flits,
+                           Cycle depart, std::vector<Cycle> &arrivals)
+{
+    ++stats_.broadcasts;
+    arrivals.assign(numCores_, 0);
+    arrivals[src] = depart;
+
+    // No replication hardware: serialize one unicast per destination
+    // at the source injection port (one flit per cycle).
+    Cycle max_arrival = depart;
+    std::uint64_t i = 0;
+    for (CoreId dst = 0; dst < static_cast<CoreId>(numCores_); ++dst) {
+        if (dst == src)
+            continue;
+        const Cycle inject = depart + i * flits;
+        arrivals[dst] = unicast(src, dst, flits, inject);
+        max_arrival = std::max(max_arrival, arrivals[dst]);
+        ++i;
+    }
+    return max_arrival;
+}
+
+std::string
+CrossbarNetwork::describeLink(std::uint32_t link) const
+{
+    return "port->tile" + std::to_string(link);
+}
+
+} // namespace lacc

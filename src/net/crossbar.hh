@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Full crossbar interconnect: every tile pair is one switch traversal
+ * apart, so unicast latency is uniform (hopLatency + serialization)
+ * and contention is modeled on the per-destination output ports.
+ *
+ * There is NO native broadcast: a crossbar switch has no replication
+ * tree, so a broadcast is emulated as one unicast per destination,
+ * serialized at the source injection port (one flit per cycle). This
+ * makes ACKwise_p pointer overflow genuinely expensive — (N-1) x
+ * flits injected instead of one message — which is exactly the
+ * topology-sensitivity question the network experiment measures.
+ */
+
+#ifndef LACC_NET_CROSSBAR_HH
+#define LACC_NET_CROSSBAR_HH
+
+#include "net/network.hh"
+
+namespace lacc {
+
+/** Uniform-latency crossbar NoC; see file header. */
+class CrossbarNetwork : public NetworkModel
+{
+  public:
+    CrossbarNetwork(const SystemConfig &cfg, EnergyModel &energy);
+
+    const char *name() const override { return "xbar"; }
+
+    /** One switch traversal between any two distinct tiles. */
+    std::uint32_t hopCount(CoreId src, CoreId dst) const override
+    {
+        return src == dst ? 0 : 1;
+    }
+
+    Cycle unicast(CoreId src, CoreId dst, std::uint32_t flits,
+                  Cycle depart) override;
+
+    /**
+     * Emulated broadcast: unicasts to every other tile in CoreId
+     * order, injected back-to-back at the source (the i-th copy
+     * departs i*flits cycles after @p depart). Counts one broadcast
+     * plus N-1 unicasts in the stats, and injects (N-1)*flits.
+     */
+    Cycle broadcast(CoreId src, std::uint32_t flits, Cycle depart,
+                    std::vector<Cycle> &arrivals) override;
+
+    bool hasNativeBroadcast() const override { return false; }
+
+    std::string describeLink(std::uint32_t link) const override;
+};
+
+} // namespace lacc
+
+#endif // LACC_NET_CROSSBAR_HH

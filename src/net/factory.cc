@@ -1,0 +1,100 @@
+#include "net/factory.hh"
+
+#include "net/crossbar.hh"
+#include "net/mesh.hh"
+#include "net/ring.hh"
+#include "net/torus.hh"
+#include "sim/log.hh"
+
+namespace lacc {
+
+namespace {
+
+/**
+ * The single registration point: adding a topology means adding one
+ * entry here (plus its NetworkKind).
+ */
+struct NetworkEntry
+{
+    const char *name;
+    NetworkKind kind;
+    std::unique_ptr<NetworkModel> (*make)(const SystemConfig &,
+                                          EnergyModel &);
+};
+
+const NetworkEntry kNetworks[] = {
+    {"mesh", NetworkKind::Mesh,
+     [](const SystemConfig &cfg,
+        EnergyModel &energy) -> std::unique_ptr<NetworkModel> {
+         return std::make_unique<MeshNetwork>(cfg, energy);
+     }},
+    {"torus", NetworkKind::Torus,
+     [](const SystemConfig &cfg,
+        EnergyModel &energy) -> std::unique_ptr<NetworkModel> {
+         return std::make_unique<TorusNetwork>(cfg, energy);
+     }},
+    {"ring", NetworkKind::Ring,
+     [](const SystemConfig &cfg,
+        EnergyModel &energy) -> std::unique_ptr<NetworkModel> {
+         return std::make_unique<RingNetwork>(cfg, energy);
+     }},
+    {"xbar", NetworkKind::Crossbar,
+     [](const SystemConfig &cfg,
+        EnergyModel &energy) -> std::unique_ptr<NetworkModel> {
+         return std::make_unique<CrossbarNetwork>(cfg, energy);
+     }},
+};
+
+const NetworkEntry &
+entryFor(const SystemConfig &cfg)
+{
+    for (const auto &e : kNetworks)
+        if (e.kind == cfg.networkKind)
+            return e;
+    panic("no network registered for NetworkKind %d",
+          static_cast<int>(cfg.networkKind));
+}
+
+} // namespace
+
+std::unique_ptr<NetworkModel>
+makeNetwork(const SystemConfig &cfg, EnergyModel &energy)
+{
+    return entryFor(cfg).make(cfg, energy);
+}
+
+const std::vector<std::string> &
+networkNames()
+{
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> out;
+        for (const auto &e : kNetworks)
+            out.emplace_back(e.name);
+        return out;
+    }();
+    return names;
+}
+
+const char *
+networkNameFor(const SystemConfig &cfg)
+{
+    return entryFor(cfg).name;
+}
+
+void
+applyNetworkName(SystemConfig &cfg, const std::string &name)
+{
+    for (const auto &e : kNetworks) {
+        if (name == e.name) {
+            cfg.networkKind = e.kind;
+            return;
+        }
+    }
+    std::string known;
+    for (const auto &e : kNetworks)
+        known += (known.empty() ? "" : ", ") + std::string(e.name);
+    fatal("unknown network '%s' (known: %s)", name.c_str(),
+          known.c_str());
+}
+
+} // namespace lacc

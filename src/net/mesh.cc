@@ -7,17 +7,9 @@
 namespace lacc {
 
 MeshNetwork::MeshNetwork(const SystemConfig &cfg, EnergyModel &energy)
-    : width_(cfg.meshWidth), height_(cfg.meshHeight()),
-      numCores_(cfg.numCores), hopLatency_(cfg.hopLatency),
-      modelContention_(cfg.modelContention),
-      links_(static_cast<std::size_t>(cfg.numCores) * 4),
-      linkQueueing_(static_cast<std::size_t>(cfg.numCores) * 4, 0),
-      linkFlits_(static_cast<std::size_t>(cfg.numCores) * 4, 0),
-      energy_(energy)
-{
-    if (hopLatency_ < 2)
-        fatal("hopLatency must be >= 2 (1 router + 1 link cycle)");
-}
+    : NetworkModel(cfg, energy, cfg.numCores * 4),
+      width_(cfg.meshWidth), height_(cfg.meshHeight())
+{}
 
 std::uint32_t
 MeshNetwork::hopCount(CoreId src, CoreId dst) const
@@ -27,14 +19,6 @@ MeshNetwork::hopCount(CoreId src, CoreId dst) const
     const auto dy = yOf(src) > yOf(dst) ? yOf(src) - yOf(dst)
                                         : yOf(dst) - yOf(src);
     return dx + dy;
-}
-
-Cycle
-MeshNetwork::idealLatency(CoreId src, CoreId dst,
-                          std::uint32_t flits) const
-{
-    return static_cast<Cycle>(hopCount(src, dst)) * hopLatency_ +
-           (flits > 0 ? flits - 1 : 0);
 }
 
 CoreId
@@ -59,42 +43,6 @@ MeshNetwork::nextHop(CoreId at, CoreId dst, Dir &dir_out) const
         return static_cast<CoreId>(at - width_);
     }
     panic("nextHop called with at == dst");
-}
-
-Cycle
-MeshNetwork::traverseLink(std::uint32_t link, Cycle t,
-                          std::uint32_t flits)
-{
-    // Router stage, then link stage. The head flit wants the link at
-    // t + 1; with link-only contention it may have to queue behind
-    // the link's undrained backlog (see the file header).
-    Cycle head_at_link = t + 1;
-    if (modelContention_) {
-        LinkState &ls = links_[link];
-        const Cycle w = head_at_link / kWindow;
-        if (w > ls.windowId) {
-            // The link drains one flit per cycle between windows.
-            const std::uint64_t drained =
-                (w - ls.windowId) * kWindow;
-            ls.backlog = ls.backlog > drained ? ls.backlog - drained
-                                              : 0;
-            ls.windowId = w;
-        }
-        // Work queued ahead minus what drained since window start;
-        // messages from slightly lagging clocks (w < windowId) see
-        // the current backlog without paying the skew itself.
-        const Cycle elapsed =
-            w >= ls.windowId ? head_at_link % kWindow : 0;
-        if (ls.backlog > elapsed) {
-            const Cycle wait = ls.backlog - elapsed;
-            stats_.contentionCycles += wait;
-            linkQueueing_[link] += wait;
-            head_at_link += wait;
-        }
-        ls.backlog += flits;
-    }
-    linkFlits_[link] += flits;
-    return head_at_link + (hopLatency_ - 1);
 }
 
 Cycle
@@ -188,30 +136,6 @@ MeshNetwork::broadcast(CoreId src, std::uint32_t flits, Cycle depart,
     // Every router in the mesh replicates/forwards the message once.
     energy_.addRouter(static_cast<std::uint64_t>(flits) * numCores_);
     return max_arrival;
-}
-
-void
-MeshNetwork::reset()
-{
-    std::fill(links_.begin(), links_.end(), LinkState{});
-    std::fill(linkQueueing_.begin(), linkQueueing_.end(), 0);
-    std::fill(linkFlits_.begin(), linkFlits_.end(), 0);
-    stats_ = NetworkStats{};
-}
-
-std::vector<std::pair<std::uint32_t, std::uint64_t>>
-MeshNetwork::topCongestedLinks(std::size_t n) const
-{
-    std::vector<std::pair<std::uint32_t, std::uint64_t>> v;
-    for (std::uint32_t l = 0; l < linkQueueing_.size(); ++l)
-        if (linkQueueing_[l] > 0)
-            v.emplace_back(l, linkQueueing_[l]);
-    std::sort(v.begin(), v.end(), [](const auto &a, const auto &b) {
-        return a.second > b.second;
-    });
-    if (v.size() > n)
-        v.resize(n);
-    return v;
 }
 
 std::string

@@ -1,22 +1,9 @@
 /**
  * @file
  * Electrical 2-D mesh interconnect with XY routing and broadcast
- * support (Table 1, §3.1).
- *
- * Timing model (matching the paper's Graphite configuration):
- *  - hop latency 2 cycles: 1 router + 1 link pipeline stage per hop;
- *  - wormhole serialization: a message of F flits arrives F-1 cycles
- *    after its head flit;
- *  - contention is modeled on links only, with infinite input buffers:
- *    each directed link carries one flit per cycle. Queueing uses a
- *    windowed backlog model (like Graphite's lax-synchronization
- *    queue models): each link tracks the flit backlog accumulated in
- *    the current time window, drains it at link rate, and delays a
- *    message by the undrained backlog ahead of it. Unlike an absolute
- *    next-free-cycle booking, this tolerates the small timestamp
- *    reordering inherent to per-core clocks: a message from a
- *    slightly lagging core sees the same backlog instead of paying
- *    the whole clock skew as phantom queueing.
+ * support (Table 1, §3.1) — the paper's fabric, and the default
+ * NetworkModel (net/network.hh holds the shared timing/contention
+ * model).
  *
  * Broadcast: each router selectively replicates a broadcast message on
  * its output links so all cores are reached with a single injection
@@ -27,20 +14,12 @@
 #ifndef LACC_NET_MESH_HH
 #define LACC_NET_MESH_HH
 
-#include <cstdint>
-#include <string>
-#include <utility>
-#include <vector>
-
-#include "energy/model.hh"
-#include "sim/config.hh"
-#include "sim/stats.hh"
-#include "sim/types.hh"
+#include "net/network.hh"
 
 namespace lacc {
 
 /** 2-D mesh NoC; shared by all tiles of a Multicore. */
-class MeshNetwork
+class MeshNetwork : public NetworkModel
 {
   public:
     /**
@@ -49,6 +28,8 @@ class MeshNetwork
      */
     MeshNetwork(const SystemConfig &cfg, EnergyModel &energy);
 
+    const char *name() const override { return "mesh"; }
+
     /** Mesh X coordinate (column) of a tile. */
     std::uint32_t xOf(CoreId tile) const { return tile % width_; }
 
@@ -56,58 +37,18 @@ class MeshNetwork
     std::uint32_t yOf(CoreId tile) const { return tile / width_; }
 
     /** Manhattan hop distance between two tiles. */
-    std::uint32_t hopCount(CoreId src, CoreId dst) const;
+    std::uint32_t hopCount(CoreId src, CoreId dst) const override;
 
-    /**
-     * Send a unicast message and return its arrival time (time the
-     * last flit is ejected at @p dst). Accounts link contention and
-     * router/link energy.
-     *
-     * @param src    source tile
-     * @param dst    destination tile
-     * @param flits  total message length including header
-     * @param depart injection time at the source
-     */
     Cycle unicast(CoreId src, CoreId dst, std::uint32_t flits,
-                  Cycle depart);
+                  Cycle depart) override;
 
-    /**
-     * Broadcast from @p src to all tiles with a single injection.
-     * Arrival times (last flit) per tile are written to @p arrivals
-     * (indexed by CoreId; the source receives its copy at depart).
-     *
-     * @return the maximum arrival time over all tiles.
-     */
     Cycle broadcast(CoreId src, std::uint32_t flits, Cycle depart,
-                    std::vector<Cycle> &arrivals);
+                    std::vector<Cycle> &arrivals) override;
 
-    /**
-     * Contention-free latency of a unicast (test/analysis helper):
-     * hops * hopLatency + (flits - 1).
-     */
-    Cycle idealLatency(CoreId src, CoreId dst, std::uint32_t flits) const;
+    /** Router replication delivers a broadcast in one injection. */
+    bool hasNativeBroadcast() const override { return true; }
 
-    /** Traffic counters for this network. */
-    const NetworkStats &stats() const { return stats_; }
-
-    /** Reset traffic counters and link state. */
-    void reset();
-
-    /** Reset traffic counters only (links stay occupied). */
-    void resetStats() { stats_ = NetworkStats{}; }
-
-    /** Diagnostic: (link id, queueing cycles) of the worst links. */
-    std::vector<std::pair<std::uint32_t, std::uint64_t>>
-    topCongestedLinks(std::size_t n) const;
-
-    /** Diagnostic: describe a directed link id as text. */
-    std::string describeLink(std::uint32_t link) const;
-
-    /** Diagnostic: flits carried by a directed link. */
-    std::uint64_t linkFlits(std::uint32_t link) const
-    {
-        return linkFlits_[link];
-    }
+    std::string describeLink(std::uint32_t link) const override;
 
   private:
     /** Directed link ids: 4 per node (E, W, S, N). */
@@ -118,41 +59,11 @@ class MeshNetwork
         return node * 4 + d;
     }
 
-    /**
-     * Route one message across a single link, applying contention.
-     *
-     * @param link     directed link id
-     * @param t        head-flit time at the link's input
-     * @param flits    message length
-     * @return head-flit time at the link's output
-     */
-    Cycle traverseLink(std::uint32_t link, Cycle t, std::uint32_t flits);
-
     /** Next tile one hop toward dst following XY order; src != dst. */
     CoreId nextHop(CoreId at, CoreId dst, Dir &dir_out) const;
 
     std::uint32_t width_;
     std::uint32_t height_;
-    std::uint32_t numCores_;
-    std::uint32_t hopLatency_;
-    bool modelContention_;
-
-    /** Windowed backlog state of one directed link. */
-    struct LinkState
-    {
-        Cycle windowId = 0;        //!< current window index
-        std::uint64_t backlog = 0; //!< undrained flits in the window
-    };
-
-    /** Window length in cycles (power of two; also the drain rate). */
-    static constexpr Cycle kWindow = 64;
-
-    std::vector<LinkState> links_;
-    std::vector<std::uint64_t> linkQueueing_; //!< per-link diagnostics
-    std::vector<std::uint64_t> linkFlits_;     //!< per-link load
-
-    EnergyModel &energy_;
-    NetworkStats stats_;
 };
 
 } // namespace lacc

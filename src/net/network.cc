@@ -1,0 +1,86 @@
+#include "net/network.hh"
+
+#include <algorithm>
+
+#include "sim/log.hh"
+
+namespace lacc {
+
+NetworkModel::NetworkModel(const SystemConfig &cfg, EnergyModel &energy,
+                           std::uint32_t num_links)
+    : numCores_(cfg.numCores), hopLatency_(cfg.hopLatency),
+      modelContention_(cfg.modelContention), energy_(energy),
+      links_(num_links), linkQueueing_(num_links, 0),
+      linkFlits_(num_links, 0)
+{
+    if (hopLatency_ < 2)
+        fatal("hopLatency must be >= 2 (1 router + 1 link cycle)");
+}
+
+Cycle
+NetworkModel::traverseLink(std::uint32_t link, Cycle t,
+                           std::uint32_t flits)
+{
+    // Router stage, then link stage. The head flit wants the link at
+    // t + 1; with link-only contention it may have to queue behind
+    // the link's undrained backlog (see the file header).
+    Cycle head_at_link = t + 1;
+    if (modelContention_) {
+        LinkState &ls = links_[link];
+        const Cycle w = head_at_link / kWindow;
+        if (w > ls.windowId) {
+            // The link drains one flit per cycle between windows.
+            const std::uint64_t drained =
+                (w - ls.windowId) * kWindow;
+            ls.backlog = ls.backlog > drained ? ls.backlog - drained
+                                              : 0;
+            ls.windowId = w;
+        }
+        // Work queued ahead minus what drained since window start;
+        // messages from slightly lagging clocks (w < windowId) see
+        // the current backlog without paying the skew itself.
+        const Cycle elapsed =
+            w >= ls.windowId ? head_at_link % kWindow : 0;
+        if (ls.backlog > elapsed) {
+            const Cycle wait = ls.backlog - elapsed;
+            stats_.contentionCycles += wait;
+            linkQueueing_[link] += wait;
+            head_at_link += wait;
+        }
+        ls.backlog += flits;
+    }
+    linkFlits_[link] += flits;
+    return head_at_link + (hopLatency_ - 1);
+}
+
+void
+NetworkModel::reset()
+{
+    std::fill(links_.begin(), links_.end(), LinkState{});
+    std::fill(linkQueueing_.begin(), linkQueueing_.end(), 0);
+    std::fill(linkFlits_.begin(), linkFlits_.end(), 0);
+    stats_ = NetworkStats{};
+}
+
+std::vector<std::pair<std::uint32_t, std::uint64_t>>
+NetworkModel::topCongestedLinks(std::size_t n) const
+{
+    std::vector<std::pair<std::uint32_t, std::uint64_t>> v;
+    for (std::uint32_t l = 0; l < linkQueueing_.size(); ++l)
+        if (linkQueueing_[l] > 0)
+            v.emplace_back(l, linkQueueing_[l]);
+    std::sort(v.begin(), v.end(), [](const auto &a, const auto &b) {
+        return a.second > b.second;
+    });
+    if (v.size() > n)
+        v.resize(n);
+    return v;
+}
+
+std::string
+NetworkModel::describeLink(std::uint32_t link) const
+{
+    return "link" + std::to_string(link);
+}
+
+} // namespace lacc

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * The pluggable on-chip interconnect layer.
+ *
+ * The paper evaluates LACC on one fabric — an electrical 2-D mesh
+ * with native broadcast support (§3.1, Table 1) — but the protocol's
+ * headline mechanism (ACKwise_p falling back to broadcast on pointer
+ * overflow) is exactly the part whose cost depends on what the
+ * network makes cheap. NetworkModel abstracts the fabric the same way
+ * protocol/protocol.hh abstracts the coherence engine: unicast and
+ * broadcast timing, hop/distance accounting, per-message energy
+ * charging, and contention bookkeeping all live behind this
+ * interface, and concrete topologies (net/mesh.hh, net/torus.hh,
+ * net/ring.hh, net/crossbar.hh) are built by a config-keyed factory
+ * (net/factory.hh).
+ *
+ * Shared timing model (all link-based topologies):
+ *  - hop latency hopLatency cycles: 1 router + 1 link pipeline stage
+ *    per hop;
+ *  - wormhole serialization: a message of F flits arrives F-1 cycles
+ *    after its head flit;
+ *  - contention is modeled on directed links only, with infinite
+ *    input buffers: each link carries one flit per cycle. Queueing
+ *    uses a windowed backlog model (like Graphite's
+ *    lax-synchronization queue models): each link tracks the flit
+ *    backlog accumulated in the current time window, drains it at
+ *    link rate, and delays a message by the undrained backlog ahead
+ *    of it. Unlike an absolute next-free-cycle booking, this
+ *    tolerates the small timestamp reordering inherent to per-core
+ *    clocks: a message from a slightly lagging core sees the same
+ *    backlog instead of paying the whole clock skew as phantom
+ *    queueing.
+ */
+
+#ifndef LACC_NET_NETWORK_HH
+#define LACC_NET_NETWORK_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "energy/model.hh"
+#include "sim/config.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace lacc {
+
+/**
+ * Abstract interconnect shared by all tiles of a Multicore. Concrete
+ * topologies implement routing (hopCount), unicast timing, and
+ * broadcast delivery; the base class owns the directed-link
+ * contention state, traffic statistics, energy charging, and the
+ * congestion diagnostics, so every topology accounts traffic the same
+ * way.
+ */
+class NetworkModel
+{
+  public:
+    /**
+     * @param cfg       system configuration (geometry, flit widths,
+     *                  hop latency, contention flag)
+     * @param energy    whole-system energy accumulator
+     * @param num_links directed links (contention/diagnostic slots)
+     *                  this topology models
+     */
+    NetworkModel(const SystemConfig &cfg, EnergyModel &energy,
+                 std::uint32_t num_links);
+    virtual ~NetworkModel() = default;
+
+    /** Factory key of this topology, e.g. "mesh" or "xbar". */
+    virtual const char *name() const = 0;
+
+    /**
+     * Routing distance between two tiles in links traversed
+     * (0 for src == dst). Drives Message::hops and idealLatency().
+     */
+    virtual std::uint32_t hopCount(CoreId src, CoreId dst) const = 0;
+
+    /**
+     * Send a unicast message and return its arrival time (time the
+     * last flit is ejected at @p dst). Accounts link contention and
+     * router/link energy.
+     *
+     * @param src    source tile
+     * @param dst    destination tile
+     * @param flits  total message length including header
+     * @param depart injection time at the source
+     */
+    virtual Cycle unicast(CoreId src, CoreId dst, std::uint32_t flits,
+                          Cycle depart) = 0;
+
+    /**
+     * Broadcast from @p src to all tiles. Arrival times (last flit)
+     * per tile are written to @p arrivals (indexed by CoreId; the
+     * source receives its copy at depart). Topologies with native
+     * broadcast (hasNativeBroadcast()) deliver with a single
+     * injection along a spanning tree; others emulate it (e.g. the
+     * crossbar serializes one unicast per destination).
+     *
+     * @return the maximum arrival time over all tiles.
+     */
+    virtual Cycle broadcast(CoreId src, std::uint32_t flits,
+                            Cycle depart,
+                            std::vector<Cycle> &arrivals) = 0;
+
+    /**
+     * Whether one injection reaches every tile (router replication,
+     * §3.1). When false, every broadcast pays one serialized unicast
+     * per destination — ACKwise overflow actually hurts.
+     */
+    virtual bool hasNativeBroadcast() const = 0;
+
+    /**
+     * Contention-free latency of a unicast (test/analysis helper):
+     * hops * hopLatency + (flits - 1).
+     */
+    Cycle idealLatency(CoreId src, CoreId dst, std::uint32_t flits) const
+    {
+        return static_cast<Cycle>(hopCount(src, dst)) * hopLatency_ +
+               (flits > 0 ? flits - 1 : 0);
+    }
+
+    /** Traffic counters for this network. */
+    const NetworkStats &stats() const { return stats_; }
+
+    /** Reset traffic counters and link state. */
+    void reset();
+
+    /** Reset traffic counters only (links stay occupied). */
+    void resetStats() { stats_ = NetworkStats{}; }
+
+    /** Diagnostic: (link id, queueing cycles) of the worst links. */
+    std::vector<std::pair<std::uint32_t, std::uint64_t>>
+    topCongestedLinks(std::size_t n) const;
+
+    /** Diagnostic: describe a directed link id as text. */
+    virtual std::string describeLink(std::uint32_t link) const;
+
+    /** Diagnostic: flits carried by a directed link. */
+    std::uint64_t linkFlits(std::uint32_t link) const
+    {
+        return linkFlits_[link];
+    }
+
+  protected:
+    /**
+     * Route one message across a single directed link, applying the
+     * windowed-backlog contention model (see the file header).
+     *
+     * @param link  directed link id in [0, num_links)
+     * @param t     head-flit time at the link's input
+     * @param flits message length
+     * @return head-flit time at the link's output
+     */
+    Cycle traverseLink(std::uint32_t link, Cycle t, std::uint32_t flits);
+
+    std::uint32_t numCores_;
+    std::uint32_t hopLatency_;
+    bool modelContention_;
+
+    EnergyModel &energy_;
+    NetworkStats stats_;
+
+  private:
+    /** Windowed backlog state of one directed link. */
+    struct LinkState
+    {
+        Cycle windowId = 0;        //!< current window index
+        std::uint64_t backlog = 0; //!< undrained flits in the window
+    };
+
+    /** Window length in cycles (power of two; also the drain rate). */
+    static constexpr Cycle kWindow = 64;
+
+    std::vector<LinkState> links_;
+    std::vector<std::uint64_t> linkQueueing_; //!< per-link diagnostics
+    std::vector<std::uint64_t> linkFlits_;    //!< per-link load
+};
+
+} // namespace lacc
+
+#endif // LACC_NET_NETWORK_HH

@@ -15,10 +15,13 @@ AckwiseDirectory::fanOutInvalidations(CoreId home, L2Cache::Entry entry,
         return BaseDirectoryController::fanOutInvalidations(home, entry,
                                                             targets, t);
 
-    // ACKwise overflow: identities unknown, broadcast with a single
-    // injection; acks only from the actual sharers (§3.1). The
-    // arrival buffer is a reusable member (mesh broadcast re-assigns
-    // it to numCores each call without reallocating).
+    // ACKwise overflow: identities unknown, broadcast instead of
+    // per-sharer unicasts; acks only from the actual sharers (§3.1).
+    // On fabrics without native broadcast the transport pays the
+    // serialized-unicast emulation here — the topology-sensitivity
+    // experiment measures exactly that. The arrival buffer is a
+    // reusable member (the network broadcast re-assigns it to
+    // numCores each call without reallocating).
     Message bcast{MsgKind::InvalReq, home, home, MsgPayload::None};
     ctx_.net.broadcast(bcast, t, bcastArrivals_);
     ++ctx_.stats.protocol.broadcastInvals;

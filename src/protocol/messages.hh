@@ -6,12 +6,13 @@
  * invalidations and their acknowledgements, eviction notices, DRAM
  * traffic, and barrier messages — is described as a Message: a kind, a
  * source/destination tile, and a payload class (none / one word / one
- * line). The MessageTransport turns the description into mesh traffic:
- * it derives the flit count from the configured header and payload
- * widths, records the hop count, and charges router/link energy
- * through the mesh model. Timing and energy accounting are therefore
- * driven by the message description, not by ad-hoc flit arithmetic at
- * each protocol call site.
+ * line). The MessageTransport turns the description into interconnect
+ * traffic: it derives the flit count from the configured header and
+ * payload widths, records the hop count, and charges router/link
+ * energy through the NetworkModel (net/network.hh — mesh by default,
+ * any factory-built topology in general). Timing and energy
+ * accounting are therefore driven by the message description, not by
+ * ad-hoc flit arithmetic at each protocol call site.
  */
 
 #ifndef LACC_PROTOCOL_MESSAGES_HH
@@ -20,7 +21,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "net/mesh.hh"
+#include "net/network.hh"
 #include "sim/config.hh"
 #include "sim/types.hh"
 
@@ -79,22 +80,23 @@ struct Message
     MsgPayload payload = MsgPayload::None;
 
     std::uint32_t flits = 0; //!< header + payload; set by the transport
-    std::uint32_t hops = 0;  //!< XY route length; set by the transport
+    std::uint32_t hops = 0;  //!< route length; set by the transport
 };
 
 /**
- * Sends Messages over the mesh. Thin stateless adapter: flit sizing
- * comes from the SystemConfig, timing/contention/energy from the
- * MeshNetwork (which charges router and link energy per flit-hop).
+ * Sends Messages over the interconnect. Thin stateless adapter: flit
+ * sizing comes from the SystemConfig, timing/contention/energy from
+ * the NetworkModel (which charges router and link energy per
+ * flit-hop).
  */
 class MessageTransport
 {
   public:
-    MessageTransport(const SystemConfig &cfg, MeshNetwork &mesh)
-        : cfg_(cfg), mesh_(mesh)
+    MessageTransport(const SystemConfig &cfg, NetworkModel &net)
+        : cfg_(cfg), net_(net)
     {}
 
-    /** Flits a payload class occupies on the mesh. */
+    /** Flits a payload class occupies on the wire. */
     std::uint32_t
     payloadFlits(MsgPayload p) const
     {
@@ -120,13 +122,14 @@ class MessageTransport
     send(Message &m, Cycle depart)
     {
         m.flits = flitsOf(m);
-        m.hops = mesh_.hopCount(m.src, m.dst);
-        return mesh_.unicast(m.src, m.dst, m.flits, depart);
+        m.hops = net_.hopCount(m.src, m.dst);
+        return net_.unicast(m.src, m.dst, m.flits, depart);
     }
 
     /**
-     * Broadcast @p m from m.src to all tiles with a single injection
-     * (ACKwise overflow invalidations, barrier release). Per-tile
+     * Broadcast @p m from m.src to all tiles (ACKwise overflow
+     * invalidations, barrier release) — a single injection on fabrics
+     * with native broadcast, serialized unicasts otherwise. Per-tile
      * arrival times are written to @p arrivals.
      * @return the maximum arrival time.
      */
@@ -134,15 +137,15 @@ class MessageTransport
     broadcast(Message &m, Cycle depart, std::vector<Cycle> &arrivals)
     {
         m.flits = flitsOf(m);
-        m.hops = 0; // tree broadcast: no single route length
-        return mesh_.broadcast(m.src, m.flits, depart, arrivals);
+        m.hops = 0; // delivery tree: no single route length
+        return net_.broadcast(m.src, m.flits, depart, arrivals);
     }
 
-    MeshNetwork &mesh() { return mesh_; }
+    NetworkModel &network() { return net_; }
 
   private:
     const SystemConfig &cfg_;
-    MeshNetwork &mesh_;
+    NetworkModel &net_;
 };
 
 } // namespace lacc

@@ -38,6 +38,18 @@ directoryKindName(DirectoryKind k)
     }
 }
 
+const char *
+networkKindName(NetworkKind k)
+{
+    switch (k) {
+      case NetworkKind::Mesh: return "Mesh";
+      case NetworkKind::Torus: return "Torus";
+      case NetworkKind::Ring: return "Ring";
+      case NetworkKind::Crossbar: return "Crossbar";
+      default: return "?";
+    }
+}
+
 std::uint32_t
 SystemConfig::ratForLevel(std::uint32_t level) const
 {
@@ -97,6 +109,10 @@ SystemConfig::summary() const
         classifierKind != ClassifierKind::AlwaysPrivate) {
         os << ", RATmax=" << ratMax << ", nRATlevels=" << nRatLevels;
     }
+    // The default fabric is implicit so pre-existing banners stay
+    // byte-identical; non-mesh runs announce their topology.
+    if (networkKind != NetworkKind::Mesh)
+        os << ", net=" << networkKindName(networkKind);
     return os.str();
 }
 

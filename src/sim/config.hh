@@ -42,10 +42,23 @@ enum class DirectoryKind : std::uint8_t {
     FullMap,
 };
 
+/** On-chip interconnect topology (net/factory.hh builds the model). */
+enum class NetworkKind : std::uint8_t {
+    /** Electrical 2-D mesh, XY routing, native broadcast (Table 1). */
+    Mesh,
+    /** 2-D torus: wraparound XY, shorter average hops. */
+    Torus,
+    /** 1-D bidirectional ring: cheap routers, linear diameter. */
+    Ring,
+    /** Full crossbar: uniform latency, NO native broadcast. */
+    Crossbar,
+};
+
 /** Human-readable names for the enums above. */
 const char *classifierKindName(ClassifierKind k);
 const char *protocolKindName(ProtocolKind k);
 const char *directoryKindName(DirectoryKind k);
+const char *networkKindName(NetworkKind k);
 
 /**
  * All architectural and protocol parameters. Defaults reproduce Table 1
@@ -79,6 +92,7 @@ struct SystemConfig
     std::uint32_t dramLatency = 100;   //!< cycles (100 ns @ 1 GHz)
 
     // ---- Network -------------------------------------------------------
+    NetworkKind networkKind = NetworkKind::Mesh;
     std::uint32_t hopLatency = 2;      //!< 1 router + 1 link cycle per hop
     std::uint32_t flitWidthBits = 64;
     std::uint32_t headerFlits = 1;     //!< src, dest, addr, type

@@ -19,7 +19,8 @@ validated(const SystemConfig &cfg)
 
 Multicore::Multicore(const SystemConfig &cfg)
     : cfg_(validated(cfg)), addr_(cfg_), energy_(),
-      mesh_(cfg_, energy_), net_(cfg_, mesh_), dram_(cfg_),
+      network_(makeNetwork(cfg_, energy_)), net_(cfg_, *network_),
+      dram_(cfg_),
       // Pre-size the page table for the aggregate L2 footprint in
       // pages (the steady-state hot set R-NUCA classifies).
       pageTable_(static_cast<std::size_t>(cfg_.numCores) *
@@ -198,8 +199,8 @@ Multicore::handleBarrier(CoreId c, Workload &workload)
 
     if (barrier_.arrive(c, t_arr)) {
         const Cycle rel = barrier_.releaseTime();
-        // Reusable member scratch: the mesh broadcast re-assigns it
-        // to numCores entries without reallocating.
+        // Reusable member scratch: the network broadcast re-assigns
+        // it to numCores entries without reallocating.
         std::vector<Cycle> &wake = barrierWake_;
         Message release{MsgKind::BarrierRelease, bhome, bhome,
                         MsgPayload::None};
@@ -248,7 +249,7 @@ Multicore::resetStatsForMeasurement(Cycle t)
     // Links also restart clean: every core resumes on one aligned
     // clock at the boundary, and carrying saturated warm-up bookings
     // into the measured epoch would charge phantom queueing.
-    mesh_.reset();
+    network_->reset();
     energy_.reset();
 }
 
@@ -309,7 +310,7 @@ Multicore::finalizeStats(Workload &workload)
     (void)workload;
     for (std::uint32_t c = 0; c < cfg_.numCores; ++c)
         stats_.perCore[c] = tiles_[c]->stats;
-    stats_.network = mesh_.stats();
+    stats_.network = network_->stats();
     stats_.energy = energy_.breakdown();
 }
 

@@ -9,7 +9,8 @@
  *
  * Modeling level mirrors the paper's Graphite setup (§4.1):
  * trace-driven in-order 1-IPC cores with per-core clocks (lax
- * synchronization), analytical mesh timing with link contention,
+ * synchronization), analytical interconnect timing with link
+ * contention (net/factory.hh — 2-D mesh by default),
  * per-line transaction serialization at the directory, and functional
  * data movement through the protocol (values really travel via L1
  * copies, word accesses, write-backs, and DRAM, and can be checked
@@ -41,7 +42,7 @@
 #include "core/classifier.hh"
 #include "dram/dram.hh"
 #include "energy/model.hh"
-#include "net/mesh.hh"
+#include "net/factory.hh"
 #include "protocol/factory.hh"
 #include "protocol/messages.hh"
 #include "protocol/protocol.hh"
@@ -90,8 +91,8 @@ class Multicore
     /** Core @p c's tile: its L1s, L2 slice + directory, and clock. */
     Tile &tile(CoreId c) { return *tiles_[c]; }
     const Tile &tile(CoreId c) const { return *tiles_[c]; }
-    /** The 2-D mesh interconnect (link utilization inspection). */
-    MeshNetwork &network() { return mesh_; }
+    /** The interconnect model (link utilization inspection). */
+    NetworkModel &network() { return *network_; }
     /** R-NUCA page classification state (first-touch records). */
     const PageTable &pageTable() const { return pageTable_; }
     /** R-NUCA line-to-home-slice placement policy. */
@@ -139,7 +140,8 @@ class Multicore
     AddressMap addr_;
 
     EnergyModel energy_;
-    MeshNetwork mesh_;
+    /** Factory-built interconnect (SystemConfig::networkKind). */
+    std::unique_ptr<NetworkModel> network_;
     MessageTransport net_;
     DramModel dram_;
     PageTable pageTable_;

@@ -326,6 +326,7 @@ toJson(const SystemConfig &cfg)
     j["num_mem_controllers"] = cfg.numMemControllers;
     j["dram_bandwidth_gbps"] = cfg.dramBandwidthGBps;
     j["dram_latency"] = cfg.dramLatency;
+    j["network"] = networkKindName(cfg.networkKind);
     j["hop_latency"] = cfg.hopLatency;
     j["flit_width_bits"] = cfg.flitWidthBits;
     j["header_flits"] = cfg.headerFlits;

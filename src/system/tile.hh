@@ -3,7 +3,8 @@
  * One tile of the multicore (Fig 3): compute pipeline state, private
  * L1-I and L1-D caches, an L2 slice with the integrated directory, and
  * per-core statistics. The network router is shared infrastructure
- * (net/MeshNetwork); the directory state machine lives in the
+ * (net/network.hh, a factory-built NetworkModel — 2-D mesh by
+ * default); the directory state machine lives in the
  * protocol layer (protocol/base.hh), which owns every mutation of the
  * L2Meta directory entries embedded here.
  */

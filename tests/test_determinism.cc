@@ -22,6 +22,7 @@
 
 #include "harness/registry.hh"
 #include "harness/runner.hh"
+#include "net/factory.hh"
 #include "system/experiment.hh"
 #include "system/multicore.hh"
 #include "system/report.hh"
@@ -65,14 +66,19 @@ mixedSpec()
 }
 
 std::uint64_t
-runSignature(ClassifierKind k)
+signatureFor(const SystemConfig &cfg)
 {
-    const SystemConfig cfg = cfg8(k);
     SyntheticWorkload wl(mixedSpec(), cfg);
     Multicore m(cfg);
     const SystemStats &stats = m.run(wl);
     EXPECT_EQ(m.functionalErrors(), 0u);
     return statsSignature(stats);
+}
+
+std::uint64_t
+runSignature(ClassifierKind k)
+{
+    return signatureFor(cfg8(k));
 }
 
 struct Golden
@@ -108,6 +114,45 @@ TEST(Determinism, RepeatedRunsAreBitIdentical)
 {
     EXPECT_EQ(runSignature(ClassifierKind::Limited),
               runSignature(ClassifierKind::Limited));
+}
+
+// Golden digests per interconnect topology (Limited classifier).
+// The "mesh" entry must match the Limited entry above: the default
+// fabric is pinned to the pre-NetworkModel seed behavior, and the
+// other fabrics are pinned so topology-model drift is as loud as
+// protocol drift. Regenerate like the classifier goldens.
+const Golden kNetworkGoldens[] = {
+    {ClassifierKind::Limited, "mesh", 0x4a9d58c62567b5f4ULL},
+    {ClassifierKind::Limited, "torus", 0xafe9d14444e7f751ULL},
+    {ClassifierKind::Limited, "ring", 0xfa665e0a792f121dULL},
+    {ClassifierKind::Limited, "xbar", 0x5e9137e28be7ecb7ULL},
+};
+
+TEST(Determinism, GoldenHashPerNetworkTopology)
+{
+    for (const auto &g : kNetworkGoldens) {
+        SystemConfig cfg = cfg8(g.kind);
+        applyNetworkName(cfg, g.name);
+        const std::uint64_t sig = signatureFor(cfg);
+        EXPECT_EQ(sig, g.signature)
+            << g.name << " stats signature drifted; actual 0x"
+            << std::hex << sig
+            << " — network-model behavior changed (update the golden"
+               " only if the change is intentional)";
+    }
+}
+
+TEST(Determinism, TopologiesProduceDistinctTraffic)
+{
+    // The fabrics must actually differ: identical digests would mean
+    // a factory wiring bug silently running everything on one model.
+    SystemConfig mesh = cfg8(ClassifierKind::Limited);
+    SystemConfig ring = mesh, xbar = mesh;
+    applyNetworkName(ring, "ring");
+    applyNetworkName(xbar, "xbar");
+    const auto s_mesh = signatureFor(mesh);
+    EXPECT_NE(s_mesh, signatureFor(ring));
+    EXPECT_NE(s_mesh, signatureFor(xbar));
 }
 
 TEST(Determinism, SweepRunnerSerialEqualsJobs4)

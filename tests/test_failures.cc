@@ -10,6 +10,8 @@
 
 #include <gtest/gtest.h>
 
+#include "net/factory.hh"
+#include "protocol/factory.hh"
 #include "system/multicore.hh"
 #include "workload/trace_file.hh"
 
@@ -213,6 +215,37 @@ TEST(Failures, MissingTraceFileIsFatal)
 {
     EXPECT_EXIT(TraceWorkload::load("/nonexistent/path.trace"),
                 testing::ExitedWithCode(1), "cannot open");
+}
+
+TEST(Failures, NetworkFactoryRoundTripsEveryName)
+{
+    // applyNetworkName -> networkNameFor -> makeNetwork must agree
+    // for every registered topology, and a system must construct and
+    // run on each (the harness sweeps rely on this round-trip).
+    for (const auto &name : networkNames()) {
+        SystemConfig cfg = tinyCfg(4);
+        cfg.meshWidth = 2;
+        applyNetworkName(cfg, name);
+        ASSERT_STREQ(networkNameFor(cfg), name.c_str());
+        Multicore m(cfg);
+        EXPECT_STREQ(m.network().name(), name.c_str());
+    }
+}
+
+TEST(Failures, UnknownNetworkNameIsFatal)
+{
+    SystemConfig cfg = tinyCfg();
+    EXPECT_EXIT(applyNetworkName(cfg, "hypercube"),
+                testing::ExitedWithCode(1),
+                "unknown network 'hypercube'.*mesh.*torus.*ring.*xbar");
+}
+
+TEST(Failures, UnknownProtocolNameIsFatal)
+{
+    SystemConfig cfg = tinyCfg();
+    EXPECT_EXIT(applyProtocolName(cfg, "mosi"),
+                testing::ExitedWithCode(1),
+                "unknown protocol 'mosi'.*lacc.*fullmap");
 }
 
 } // namespace

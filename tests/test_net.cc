@@ -1,14 +1,21 @@
 /**
  * @file
- * Unit tests for the 2-D mesh network: XY distances, wormhole
- * serialization, link contention, broadcast tree coverage, and
- * energy/traffic accounting.
+ * Unit tests for the interconnect layer: the 2-D mesh (XY distances,
+ * wormhole serialization, link contention, broadcast tree coverage,
+ * energy/traffic accounting) plus the torus/ring/crossbar topologies
+ * behind the NetworkModel interface (wraparound distances, broadcast
+ * arc/tree link occupancy, serialized-broadcast emulation) and the
+ * network factory.
  */
 
 #include <gtest/gtest.h>
 
 #include "energy/model.hh"
+#include "net/crossbar.hh"
+#include "net/factory.hh"
 #include "net/mesh.hh"
+#include "net/ring.hh"
+#include "net/torus.hh"
 
 namespace lacc {
 namespace {
@@ -190,6 +197,267 @@ TEST(Mesh, NonSquareMesh)
     std::vector<Cycle> arrivals;
     net.broadcast(5, 1, 0, arrivals);
     EXPECT_EQ(net.stats().flitHops, 7u);
+}
+
+TEST(Mesh, BroadcastOccupiesXThenYTreeLinks)
+{
+    // 4x4 mesh, broadcast from tile 5 = (x=1, y=1). The X-then-Y tree
+    // expands east/west along row 1 and north/south along every
+    // column; directed link ids are node*4 + {E=0, W=1, S=2, N=3}.
+    EnergyModel e;
+    MeshNetwork net(meshCfg(16, 4), e);
+    std::vector<Cycle> arrivals;
+    net.broadcast(5, 1, 0, arrivals);
+
+    const auto link = [](CoreId node, std::uint32_t dir) {
+        return node * 4 + dir;
+    };
+    // Row expansion: 5->6->7 east, 5->4 west.
+    EXPECT_EQ(net.linkFlits(link(5, 0)), 1u);
+    EXPECT_EQ(net.linkFlits(link(6, 0)), 1u);
+    EXPECT_EQ(net.linkFlits(link(7, 0)), 0u); // east edge: no wrap
+    EXPECT_EQ(net.linkFlits(link(5, 1)), 1u);
+    EXPECT_EQ(net.linkFlits(link(4, 1)), 0u); // west edge: no wrap
+    // Column expansion from every row-1 node: south two rows, north
+    // one row (e.g. column 2: 6->10->14 south, 6->2 north).
+    EXPECT_EQ(net.linkFlits(link(6, 2)), 1u);
+    EXPECT_EQ(net.linkFlits(link(10, 2)), 1u);
+    EXPECT_EQ(net.linkFlits(link(6, 3)), 1u);
+    EXPECT_EQ(net.linkFlits(link(2, 3)), 0u); // north edge
+    // The tree occupies exactly N-1 directed links, once each.
+    std::uint64_t occupied = 0;
+    for (std::uint32_t l = 0; l < 16 * 4; ++l) {
+        EXPECT_LE(net.linkFlits(l), 1u) << "link " << l;
+        occupied += net.linkFlits(l);
+    }
+    EXPECT_EQ(occupied, 15u);
+}
+
+// ---------------------------------------------------------------------------
+// Torus
+// ---------------------------------------------------------------------------
+
+TEST(Torus, WraparoundHopCounts)
+{
+    EnergyModel e;
+    TorusNetwork net(meshCfg(64, 8), e);
+    EXPECT_EQ(net.hopCount(0, 0), 0u);
+    EXPECT_EQ(net.hopCount(0, 7), 1u);   // row wrap: 7 on the mesh
+    EXPECT_EQ(net.hopCount(0, 56), 1u);  // column wrap
+    EXPECT_EQ(net.hopCount(0, 63), 2u);  // both wraps: 14 on the mesh
+    EXPECT_EQ(net.hopCount(0, 36), 8u);  // (4,4): the torus diameter
+    EXPECT_EQ(net.hopCount(9, 18), 2u);  // no wrap: same as the mesh
+    // Symmetric: wrap distance is direction-independent.
+    EXPECT_EQ(net.hopCount(63, 0), 2u);
+}
+
+TEST(Torus, NeverWorseThanMesh)
+{
+    EnergyModel e1, e2;
+    MeshNetwork mesh(meshCfg(64, 8), e1);
+    TorusNetwork torus(meshCfg(64, 8), e2);
+    for (CoreId s = 0; s < 64; s += 7)
+        for (CoreId d = 0; d < 64; ++d)
+            EXPECT_LE(torus.hopCount(s, d), mesh.hopCount(s, d))
+                << s << "->" << d;
+}
+
+TEST(Torus, UnicastMatchesIdealWithoutContention)
+{
+    EnergyModel e;
+    TorusNetwork net(meshCfg(64, 8), e);
+    const Cycle t = net.unicast(0, 63, 9, 1000);
+    EXPECT_EQ(t, 1000 + net.idealLatency(0, 63, 9));
+    EXPECT_EQ(net.stats().flitHops, 9u * 2);
+    EXPECT_EQ(net.unicast(5, 5, 9, 123), 123u); // local delivery
+}
+
+TEST(Torus, BroadcastReachesAllOverSpanningTree)
+{
+    EnergyModel e;
+    TorusNetwork net(meshCfg(64, 8), e);
+    std::vector<Cycle> arrivals;
+    const Cycle max_t = net.broadcast(27, 1, 500, arrivals);
+    ASSERT_EQ(arrivals.size(), 64u);
+    Cycle seen_max = 0;
+    for (CoreId c = 0; c < 64; ++c) {
+        if (c == 27)
+            continue;
+        EXPECT_GE(arrivals[c], 500 + net.idealLatency(27, c, 1))
+            << "core " << c;
+        seen_max = std::max(seen_max, arrivals[c]);
+    }
+    EXPECT_EQ(max_t, seen_max);
+    // N-1 tree links, 1 flit each, single injection.
+    EXPECT_EQ(net.stats().flitHops, 63u);
+    EXPECT_EQ(net.stats().flitsInjected, 1u);
+    EXPECT_EQ(net.stats().broadcasts, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Ring
+// ---------------------------------------------------------------------------
+
+TEST(Ring, ShorterArcHopCounts)
+{
+    EnergyModel e;
+    RingNetwork net(meshCfg(16, 4), e);
+    EXPECT_EQ(net.hopCount(0, 0), 0u);
+    EXPECT_EQ(net.hopCount(0, 15), 1u); // wraparound edge
+    EXPECT_EQ(net.hopCount(15, 0), 1u);
+    EXPECT_EQ(net.hopCount(0, 8), 8u);  // the diameter
+    EXPECT_EQ(net.hopCount(3, 7), 4u);
+    EXPECT_EQ(net.hopCount(7, 3), 4u);
+}
+
+TEST(Ring, UnicastMatchesIdealWithoutContention)
+{
+    EnergyModel e;
+    RingNetwork net(meshCfg(16, 4), e);
+    const Cycle t = net.unicast(0, 15, 9, 1000);
+    EXPECT_EQ(t, 1000 + net.idealLatency(0, 15, 9));
+    EXPECT_EQ(net.stats().flitHops, 9u); // one wraparound hop
+}
+
+TEST(Ring, BroadcastExpandsBothArcs)
+{
+    EnergyModel e;
+    RingNetwork net(meshCfg(16, 4), e);
+    std::vector<Cycle> arrivals;
+    const Cycle max_t = net.broadcast(3, 1, 100, arrivals);
+    ASSERT_EQ(arrivals.size(), 16u);
+    for (CoreId c = 0; c < 16; ++c) {
+        if (c == 3)
+            continue;
+        EXPECT_GE(arrivals[c], 100 + net.idealLatency(3, c, 1))
+            << "core " << c;
+    }
+    // N-1 arc links, 1 flit each, single injection; the farthest node
+    // (the clockwise arc's end, 8 hops away) bounds the release.
+    EXPECT_EQ(net.stats().flitHops, 15u);
+    EXPECT_EQ(net.stats().flitsInjected, 1u);
+    EXPECT_EQ(max_t, 100 + net.idealLatency(3, 11, 1));
+}
+
+TEST(Ring, HigherDiameterThanMesh)
+{
+    EnergyModel e1, e2;
+    MeshNetwork mesh(meshCfg(64, 8), e1);
+    RingNetwork ring(meshCfg(64, 8), e2);
+    EXPECT_EQ(ring.hopCount(0, 32), 32u);  // ring diameter: N/2
+    EXPECT_EQ(mesh.hopCount(0, 32), 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Crossbar
+// ---------------------------------------------------------------------------
+
+TEST(Crossbar, UniformSingleHopLatency)
+{
+    EnergyModel e;
+    CrossbarNetwork net(meshCfg(64, 8), e);
+    EXPECT_EQ(net.hopCount(0, 1), 1u);
+    EXPECT_EQ(net.hopCount(0, 63), 1u);
+    EXPECT_EQ(net.hopCount(5, 5), 0u);
+    // hops * 2 + (flits - 1), independent of the pair.
+    EXPECT_EQ(net.idealLatency(0, 1, 9), net.idealLatency(0, 63, 9));
+    const Cycle t = net.unicast(0, 63, 9, 1000);
+    EXPECT_EQ(t, 1000 + net.idealLatency(0, 63, 9));
+    EXPECT_EQ(net.stats().flitHops, 9u);
+}
+
+TEST(Crossbar, OutputPortContention)
+{
+    EnergyModel e;
+    CrossbarNetwork net(meshCfg(16, 4), e);
+    // Two senders to the same destination contend on its output port;
+    // two senders to different destinations do not.
+    const Cycle a = net.unicast(0, 5, 8, 0);
+    const Cycle b = net.unicast(1, 5, 8, 0);
+    EXPECT_GT(b, a);
+    EXPECT_GE(net.stats().contentionCycles, 7u);
+    EnergyModel e2;
+    CrossbarNetwork clean(meshCfg(16, 4), e2);
+    EXPECT_EQ(clean.unicast(0, 5, 8, 0), clean.unicast(1, 6, 8, 0));
+    EXPECT_EQ(clean.stats().contentionCycles, 0u);
+}
+
+TEST(Crossbar, BroadcastSerializesUnicasts)
+{
+    EnergyModel e;
+    CrossbarNetwork net(meshCfg(16, 4), e);
+    EXPECT_FALSE(net.hasNativeBroadcast());
+    std::vector<Cycle> arrivals;
+    const std::uint32_t flits = 4;
+    const Cycle max_t = net.broadcast(3, flits, 200, arrivals);
+    ASSERT_EQ(arrivals.size(), 16u);
+    EXPECT_EQ(arrivals[3], 200u);
+
+    // Emulation: one unicast per destination, injected back-to-back
+    // at one flit per cycle — (N-1)*flits injected flits and hops,
+    // versus a single injection and N-1 tree links on the mesh.
+    EXPECT_EQ(net.stats().broadcasts, 1u);
+    EXPECT_EQ(net.stats().unicasts, 15u);
+    EXPECT_EQ(net.stats().flitsInjected, 15u * flits);
+    EXPECT_EQ(net.stats().flitHops, 15u * flits);
+
+    // The i-th copy (CoreId order, source skipped) departs i*flits
+    // later; distinct output ports mean no port contention, so each
+    // arrival is exactly its injection plus the uniform latency.
+    std::uint64_t i = 0;
+    for (CoreId c = 0; c < 16; ++c) {
+        if (c == 3)
+            continue;
+        EXPECT_EQ(arrivals[c],
+                  200 + i * flits + net.idealLatency(3, c, flits))
+            << "core " << c;
+        ++i;
+    }
+    EXPECT_EQ(max_t, arrivals[15]);
+}
+
+TEST(Crossbar, EmulatedBroadcastCostsMoreThanMeshTree)
+{
+    EnergyModel e1, e2;
+    MeshNetwork mesh(meshCfg(64, 8), e1);
+    CrossbarNetwork xbar(meshCfg(64, 8), e2);
+    std::vector<Cycle> arrivals;
+    mesh.broadcast(0, 8, 0, arrivals);
+    xbar.broadcast(0, 8, 0, arrivals);
+    EXPECT_GT(xbar.stats().flitsInjected, mesh.stats().flitsInjected);
+    EXPECT_GT(e2.breakdown().link, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Factory
+// ---------------------------------------------------------------------------
+
+TEST(NetFactory, BuildsEveryRegisteredTopology)
+{
+    EXPECT_EQ(networkNames(),
+              (std::vector<std::string>{"mesh", "torus", "ring",
+                                        "xbar"}));
+    for (const auto &name : networkNames()) {
+        SystemConfig cfg = meshCfg(16, 4);
+        applyNetworkName(cfg, name);
+        EXPECT_STREQ(networkNameFor(cfg), name.c_str());
+        EnergyModel e;
+        const auto net = makeNetwork(cfg, e);
+        ASSERT_NE(net, nullptr);
+        EXPECT_STREQ(net->name(), name.c_str());
+        // Polymorphic sanity: local delivery is free everywhere and
+        // distinct tiles are at least one hop apart.
+        EXPECT_EQ(net->hopCount(2, 2), 0u);
+        EXPECT_GE(net->hopCount(0, 9), 1u);
+        EXPECT_EQ(net->unicast(2, 2, 4, 77), 77u);
+    }
+}
+
+TEST(NetFactory, DefaultConfigSelectsMesh)
+{
+    const SystemConfig cfg;
+    EXPECT_EQ(cfg.networkKind, NetworkKind::Mesh);
+    EXPECT_STREQ(networkNameFor(cfg), "mesh");
 }
 
 } // namespace

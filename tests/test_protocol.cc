@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include "net/mesh.hh"
 #include "system/multicore.hh"
 #include "workload/trace_file.hh"
 

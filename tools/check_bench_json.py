@@ -44,7 +44,14 @@ RUN_KEYS = {
     "result",
 }
 
-CONFIG_KEYS = {"num_cores", "pct", "classifier", "directory", "seed"}
+CONFIG_KEYS = {
+    "num_cores",
+    "pct",
+    "classifier",
+    "directory",
+    "network",
+    "seed",
+}
 
 RESULT_KEYS = {
     "completion_time",

@@ -10,6 +10,11 @@ reported informationally but never affect the exit status (they depend
 on the machine), and runs are matched by label so grid reorderings are
 detected rather than misattributed.
 
+Experiments present in only one directory are skipped with a printed
+note and never count as drift: a PR that adds (or retires) an
+experiment would otherwise permanently fail the perf-smoke comparison
+against the previous commit's artifact at the PR boundary.
+
 Throughput: schema-v2 documents carry ops_per_sec directly; for v1
 documents the rate is derived from the per-run instruction totals and
 wall clocks, so old/new artifacts of different schema versions still
@@ -18,8 +23,8 @@ produce a speedup column.
 Exit codes:
   0  both directories parsed and every common experiment matched
      within --tolerance (simulated metrics only)
-  1  simulated metrics drifted beyond --tolerance, or the directories
-     disagree on experiments/runs
+  1  simulated metrics drifted beyond --tolerance, or a common
+     experiment's run grids disagree
   2  usage / IO error
 
 Typical CI usage (non-gating, informational):
@@ -187,11 +192,11 @@ def main(argv):
     only_old = sorted(set(old_docs) - set(new_docs))
     only_new = sorted(set(new_docs) - set(old_docs))
     for name in only_old:
-        print(f"DIFF {name}: experiment only in {args.old_dir}")
-        drift += 1
+        print(f"SKIP {name}: experiment only in {args.old_dir}"
+              " (skipped; not counted as drift)")
     for name in only_new:
         print(f"NEW  {name}: experiment only in {args.new_dir}"
-              " (not counted as drift)")
+              " (skipped; not counted as drift)")
 
     for name in sorted(set(old_docs) & set(new_docs)):
         da, db = old_docs[name], new_docs[name]
