@@ -1,0 +1,281 @@
+/**
+ * @file
+ * Verification CLI over src/verify/: the seeded litmus fuzzer and the
+ * exhaustive bounded-state enumerator, sharing the protocol-invariant
+ * library. Command-line conventions mirror lacc_bench: strict
+ * full-token numeric parsing (a partial or garbage value exits 2 and
+ * prints the valid range), factory-name validation up front, exit 0
+ * only when verification is clean.
+ *
+ * Usage:
+ *   lacc_verify --fuzz [--seed N] [--iters N] [--cores N] [--ops N]
+ *               [--protocol NAME] [--network NAME] [--repro-dir DIR]
+ *               [--no-stepwise]
+ *   lacc_verify --enumerate [--cores N] [--lines N] [--max-states N]
+ *               [--protocol NAME] [--network NAME]
+ *   lacc_verify --list-protocols | --list-networks
+ *
+ * Exit status: 0 clean, 1 violation found (or state cap hit before
+ * the space was exhausted), 2 usage error.
+ */
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "net/factory.hh"
+#include "protocol/factory.hh"
+#include "sim/log.hh"
+#include "verify/enumerate.hh"
+#include "verify/fuzz.hh"
+
+using namespace lacc;
+using namespace lacc::verify;
+
+namespace {
+
+void
+usage(std::FILE *to)
+{
+    std::fprintf(
+        to,
+        "usage: lacc_verify --fuzz | --enumerate [options]\n"
+        "\n"
+        "Protocol verification: a seeded randomized litmus fuzzer and"
+        " an exhaustive\nbounded-state enumerator, both checking every"
+        " protocol invariant\n(src/verify/invariants.hh) against the"
+        " sequentially-consistent reference\nmemory.\n"
+        "\n"
+        "modes (exactly one):\n"
+        "  --fuzz            random sharing-heavy traces, shrunk on"
+        " failure\n"
+        "  --enumerate       BFS over every reachable protocol state\n"
+        "\n"
+        "fuzz options:\n"
+        "  --seed N          campaign seed (default 1)\n"
+        "  --iters N         traces to generate, in [1, 1000000000]"
+        " (default 25)\n"
+        "  --cores N         cores per trace, in [2, 16] (default 4)\n"
+        "  --ops N           ops per core, in [1, 4096] (default 24)\n"
+        "  --repro-dir DIR   write minimized repro traces into DIR\n"
+        "  --no-stepwise     skip the per-access invariant replay\n"
+        "\n"
+        "enumerate options:\n"
+        "  --cores N         cores, in [2, 4] (default 2)\n"
+        "  --lines N         cache lines, in [1, 2] (default 2)\n"
+        "  --max-states N    state cap, in [1, 100000000]"
+        " (default 500000)\n"
+        "\n"
+        "common options:\n"
+        "  --protocol NAME   one protocol (default: fuzz = all,"
+        " enumerate = lacc)\n"
+        "  --network NAME    one topology (default: fuzz = mesh+xbar,"
+        " enumerate = mesh)\n"
+        "  --list-protocols  list coherence-protocol names and exit\n"
+        "  --list-networks   list interconnect-topology names and"
+        " exit\n"
+        "  --help            this message\n");
+}
+
+/**
+ * Strict full-token decimal parse: every character must be a digit,
+ * at most 19 of them, and the value must land in [lo, hi]. "12x",
+ * "0x10", "-3", " 5", and "" are all rejected — a typo must never
+ * silently verify less than the user asked for.
+ */
+bool
+parseU64(const char *s, std::uint64_t lo, std::uint64_t hi,
+         std::uint64_t &out)
+{
+    if (s == nullptr || *s == '\0')
+        return false;
+    std::uint64_t v = 0;
+    int digits = 0;
+    for (const char *p = s; *p != '\0'; ++p) {
+        if (*p < '0' || *p > '9')
+            return false;
+        if (++digits > 19)
+            return false;
+        v = v * 10 + static_cast<std::uint64_t>(*p - '0');
+    }
+    if (v < lo || v > hi)
+        return false;
+    out = v;
+    return true;
+}
+
+/** Parse @p s for option @p name or exit 2 with the valid range. */
+std::uint64_t
+parseOrDie(const char *name, const char *s, std::uint64_t lo,
+           std::uint64_t hi)
+{
+    std::uint64_t v = 0;
+    if (!parseU64(s, lo, hi, v)) {
+        std::fprintf(stderr,
+                     "%s wants an integer in [%" PRIu64 ", %" PRIu64
+                     "], got '%s'\n",
+                     name, lo, hi, s);
+        std::exit(2);
+    }
+    return v;
+}
+
+std::string
+joined(const std::vector<std::string> &names)
+{
+    std::string out;
+    for (const auto &n : names)
+        out += (out.empty() ? "" : ", ") + n;
+    return out;
+}
+
+bool
+validateName(const char *what, const std::string &value,
+             const std::vector<std::string> &names)
+{
+    if (std::find(names.begin(), names.end(), value) != names.end())
+        return true;
+    std::fprintf(stderr, "unknown %s '%s' (valid: %s)\n", what,
+                 value.c_str(), joined(names).c_str());
+    return false;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setVerbose(false);
+
+    bool fuzz = false, enumer = false;
+    FuzzOptions fo;
+    EnumOptions eo;
+    std::string protocol, network;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto value = [&](const char *name) -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s requires a value\n", name);
+                usage(stderr);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--help" || arg == "-h") {
+            usage(stdout);
+            return 0;
+        } else if (arg == "--fuzz") {
+            fuzz = true;
+        } else if (arg == "--enumerate") {
+            enumer = true;
+        } else if (arg == "--list-protocols") {
+            for (const auto &name : protocolNames())
+                std::printf("%s\n", name.c_str());
+            return 0;
+        } else if (arg == "--list-networks") {
+            for (const auto &name : networkNames())
+                std::printf("%s\n", name.c_str());
+            return 0;
+        } else if (arg == "--seed") {
+            fo.seed = parseOrDie("--seed", value("--seed"), 0,
+                                 UINT64_MAX / 2);
+        } else if (arg == "--iters") {
+            fo.iters = static_cast<std::uint32_t>(parseOrDie(
+                "--iters", value("--iters"), 1, 1000000000));
+        } else if (arg == "--cores") {
+            // Range-checked per mode below (the mode flag may come
+            // after); parse loosely here.
+            const std::uint64_t v =
+                parseOrDie("--cores", value("--cores"), 1, 16);
+            fo.cores = static_cast<std::uint32_t>(v);
+            eo.cores = static_cast<std::uint32_t>(v);
+        } else if (arg == "--ops") {
+            fo.opsPerCore = static_cast<std::uint32_t>(
+                parseOrDie("--ops", value("--ops"), 1, 4096));
+        } else if (arg == "--lines") {
+            eo.lines = static_cast<std::uint32_t>(
+                parseOrDie("--lines", value("--lines"), 1, 2));
+        } else if (arg == "--max-states") {
+            eo.maxStates = parseOrDie(
+                "--max-states", value("--max-states"), 1, 100000000);
+        } else if (arg == "--protocol") {
+            protocol = value("--protocol");
+            if (!validateName("protocol", protocol, protocolNames()))
+                return 2;
+        } else if (arg == "--network") {
+            network = value("--network");
+            if (!validateName("network", network, networkNames()))
+                return 2;
+        } else if (arg == "--repro-dir") {
+            fo.reproDir = value("--repro-dir");
+        } else if (arg == "--no-stepwise") {
+            fo.stepwise = false;
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+            usage(stderr);
+            return 2;
+        }
+    }
+
+    if (fuzz == enumer) {
+        std::fprintf(stderr,
+                     "exactly one of --fuzz / --enumerate required\n");
+        usage(stderr);
+        return 2;
+    }
+
+    if (fuzz) {
+        if (fo.cores < 2 || fo.cores > 16) {
+            std::fprintf(stderr,
+                         "--fuzz --cores wants [2, 16], got %u\n",
+                         fo.cores);
+            return 2;
+        }
+        fo.protocol = protocol;
+        fo.network = network;
+        const FuzzResult res = runFuzz(fo);
+        std::printf("fuzz: seed %" PRIu64 ", %u traces, %" PRIu64
+                    " runs, %" PRIu64 " failure(s)\n",
+                    fo.seed, fo.iters, res.runs, res.failures);
+        if (res.failures == 0)
+            return 0;
+        std::printf("first failure (minimized):\n%s\n",
+                    res.firstReport.c_str());
+        for (const auto &p : res.reproPaths)
+            std::printf("repro written: %s\n", p.c_str());
+        return 1;
+    }
+
+    if (eo.cores < 2 || eo.cores > 4) {
+        std::fprintf(stderr,
+                     "--enumerate --cores wants [2, 4], got %u\n",
+                     eo.cores);
+        return 2;
+    }
+    if (!protocol.empty())
+        eo.protocol = protocol;
+    if (!network.empty())
+        eo.network = network;
+    const EnumResult res = enumerate(eo);
+    std::printf("enumerate: %s x %s, %u cores, %u line(s): %" PRIu64
+                " states, %" PRIu64 " transitions, %s\n",
+                eo.protocol.c_str(), eo.network.c_str(), eo.cores,
+                eo.lines, res.states, res.transitions,
+                res.exhaustive ? "exhaustive"
+                               : (res.violations.empty()
+                                      ? "STATE CAP REACHED"
+                                      : "VIOLATION"));
+    if (!res.violations.empty()) {
+        for (const auto &v : res.violations)
+            std::printf("violation: %s\n", v.c_str());
+        std::printf("counterexample path (from reset):\n%s",
+                    res.counterexample.c_str());
+        return 1;
+    }
+    return res.exhaustive ? 0 : 1;
+}

@@ -22,6 +22,7 @@
 #include "protocol/factory.hh"
 #include "sim/log.hh"
 #include "system/report.hh"
+#include "workload/litmus.hh"
 #include "workload/suite.hh"
 
 namespace lacc::harness {
@@ -1267,6 +1268,58 @@ networkExperiment()
     return e;
 }
 
+// -------------------------------------------------------------------------
+// Litmus sweep: the named coherence archetypes under every protocol.
+// -------------------------------------------------------------------------
+
+Experiment
+litmusExperiment()
+{
+    Experiment e;
+    e.name = "litmus";
+    e.title = "Litmus archetypes x protocols (functional check on)";
+    e.subtitle = "Producer-consumer, false sharing, TAS lock; every"
+                 " read validated against the reference memory";
+    e.description =
+        "coherence litmus sweep: archetypes x protocols, zero-error"
+        " check";
+    e.makeJobs = [] {
+        std::vector<Job> jobs;
+        for (const auto &proto : protocolNames())
+            for (const auto &name : litmusNames()) {
+                SystemConfig cfg = defaultConfig();
+                applyProtocolName(cfg, proto);
+                jobs.push_back({name, cfg, proto + " " + name});
+            }
+        return jobs;
+    };
+    e.report = [](const ReportContext &ctx) {
+        Cursor cur(ctx.results);
+        Table t({"Protocol", "Litmus", "Cycles", "Energy (uJ)",
+                 "Func errors"});
+        std::uint64_t errors = 0;
+        for (const auto &proto : protocolNames())
+            for (const auto &name : litmusNames()) {
+                const auto &r = cur.next();
+                errors += r.functionalErrors;
+                t.addRow({proto, name,
+                          std::to_string(r.completionTime),
+                          fmt(r.energyTotal * 1e-6, 3),
+                          std::to_string(r.functionalErrors)});
+            }
+        cur.finish();
+        t.print(ctx.out);
+        ctx.out << (errors == 0
+                        ? "\nAll litmus runs functionally clean\n"
+                        : "\nFUNCTIONAL ERRORS DETECTED\n");
+        Json fig = Json::object();
+        fig["table"] = t.toJson();
+        fig["functionalErrors"] = errors;
+        return fig;
+    };
+    return e;
+}
+
 } // namespace
 
 void
@@ -1287,6 +1340,7 @@ registerBuiltinExperiments(Registry &r)
     r.add(ackwiseExperiment());
     r.add(scalingExperiment());
     r.add(networkExperiment());
+    r.add(litmusExperiment());
 }
 
 } // namespace lacc::harness

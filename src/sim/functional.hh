@@ -85,6 +85,38 @@ class FunctionalMemory
     /** Mismatches observed (must be 0 after a run). */
     std::uint64_t errors() const { return errors_; }
 
+    /**
+     * Look up the reference value of the word backing @p addr.
+     * @return false when the word was never written (reads of such
+     * words are checked against 0). Used by the verification layer's
+     * final-memory oracle (verify/invariants.hh).
+     */
+    bool
+    lookup(Addr addr, std::uint64_t &out) const
+    {
+        const auto it = mem_.find(wordAddr(addr));
+        if (it == mem_.end())
+            return false;
+        out = it->second;
+        return true;
+    }
+
+    /** Number of distinct words the reference memory tracks. */
+    std::size_t trackedWords() const { return mem_.size(); }
+
+    /**
+     * Apply @p fn(wordAddr, value) to every tracked reference word.
+     * Iteration order is unspecified; callers that need determinism
+     * (the verification oracle) must sort what they collect.
+     */
+    template <typename F>
+    void
+    forEachWord(F &&fn) const
+    {
+        for (const auto &[wa, v] : mem_)
+            fn(wa, v);
+    }
+
   private:
     bool checks_ = true;
     std::uint64_t counter_ = 0;

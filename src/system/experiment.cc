@@ -6,6 +6,7 @@
 
 #include "sim/log.hh"
 #include "system/multicore.hh"
+#include "workload/litmus.hh"
 #include "workload/suite.hh"
 
 namespace lacc {
@@ -43,17 +44,11 @@ opScaleFromEnv()
     return v;
 }
 
-RunResult
-runBenchmark(const std::string &bench, const SystemConfig &cfg,
-             double op_scale)
-{
-    if (op_scale <= 0.0)
-        op_scale = opScaleFromEnv();
-    auto workload = makeBenchmark(bench, cfg, op_scale);
-    Multicore system(cfg);
-    system.setFunctionalChecks(false);
-    const SystemStats &stats = system.run(*workload);
+namespace {
 
+RunResult
+collectResult(const Multicore &system, const SystemStats &stats)
+{
     RunResult r;
     r.stats = stats;
     r.completionTime = stats.completionTime();
@@ -62,6 +57,32 @@ runBenchmark(const std::string &bench, const SystemConfig &cfg,
     for (const auto &c : stats.perCore)
         r.simOps += c.instructions;
     return r;
+}
+
+} // namespace
+
+RunResult
+runBenchmark(const std::string &bench, const SystemConfig &cfg,
+             double op_scale)
+{
+    if (op_scale <= 0.0)
+        op_scale = opScaleFromEnv();
+
+    if (isLitmus(bench)) {
+        // Litmus workloads are correctness probes: every read stays
+        // checked against the reference memory, so a harness sweep
+        // over them doubles as a coherence verification run.
+        TraceWorkload workload = makeLitmus(bench, cfg, op_scale);
+        Multicore system(cfg);
+        const SystemStats &stats = system.run(workload);
+        return collectResult(system, stats);
+    }
+
+    auto workload = makeBenchmark(bench, cfg, op_scale);
+    Multicore system(cfg);
+    system.setFunctionalChecks(false);
+    const SystemStats &stats = system.run(*workload);
+    return collectResult(system, stats);
 }
 
 } // namespace lacc

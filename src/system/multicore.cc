@@ -298,9 +298,12 @@ Multicore::handleLockRelease(CoreId c, std::uint32_t id,
 }
 
 Cycle
-Multicore::testAccess(CoreId core, Addr addr, bool is_write)
+Multicore::testAccess(CoreId core, Addr addr, bool is_write,
+                      bool is_ifetch)
 {
-    protocol_->l1().access(core, addr, is_write, false);
+    if (is_write && is_ifetch)
+        fatal("testAccess: an ifetch cannot be a write");
+    protocol_->l1().access(core, addr, is_write, is_ifetch);
     return tiles_[core]->now;
 }
 

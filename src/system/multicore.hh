@@ -103,12 +103,18 @@ class Multicore
     LocalityClassifier &classifier() { return protocol_->classifier(); }
     /** The DRAM model behind the memory controllers. */
     DramModel &dram() { return dram_; }
+    /** The functional reference memory (verification oracle). */
+    const FunctionalMemory &functionalMemory() const { return mem_; }
 
     /**
-     * Test hook: perform one data access on @p core at its current
-     * local time (no workload needed). @return the completion time.
+     * Test hook: perform one data access (or, with @p is_ifetch, one
+     * instruction fetch) on @p core at its current local time (no
+     * workload needed). The verification layer's stepwise replay and
+     * state enumerator (src/verify/) are built on this. @return the
+     * completion time.
      */
-    Cycle testAccess(CoreId core, Addr addr, bool is_write);
+    Cycle testAccess(CoreId core, Addr addr, bool is_write,
+                     bool is_ifetch = false);
 
   private:
     // ---- Event loop -----------------------------------------------------

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Exhaustive reachable-state enumeration for a bounded configuration
+ * (2-4 cores, 1-2 lines): BFS over every possible next access from
+ * every reachable protocol state, asserting every invariant
+ * (verify/invariants.hh) in every state, with canonical-state
+ * deduplication and a reproducible counterexample path on failure.
+ *
+ * States are reached by *replay*: the simulator has no state
+ * snapshotting, so each BFS node is its access sequence from reset,
+ * and a successor is explored by replaying the sequence plus one
+ * event on a fresh Multicore (Multicore::testAccess). Directory
+ * transactions are atomic in this simulator, so the per-access
+ * granularity really does visit every reachable protocol state —
+ * there are no transient interleavings below it.
+ *
+ * Canonicalization (what makes the search finite) deliberately
+ * excludes pure-timing state — per-core clocks, per-line busyUntil,
+ * LRU timestamps (the config uses direct-mapped L1s and never fills
+ * an L2 set, so replacement is timing-independent) — and caps the
+ * monotone utilization counters at their decision thresholds
+ * (privateUtil at PCT, remoteUtil at RATmax): beyond the threshold
+ * every comparison the protocol makes is saturated, so larger values
+ * are future-equivalent. Line data words are also excluded (values
+ * never drive protocol decisions; the fuzzer covers value movement).
+ * Everything else — L1 states, directory states, owner, sharer list
+ * incl. ACKwise overflow, holder sets, per-core classifier records,
+ * R-NUCA page records — is part of the canonical state, stored in
+ * full (no hashing), so deduplication can never merge genuinely
+ * distinct states.
+ */
+
+#ifndef LACC_VERIFY_ENUMERATE_HH
+#define LACC_VERIFY_ENUMERATE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/config.hh"
+
+namespace lacc {
+namespace verify {
+
+/** Bounds of one enumeration (CLI: bench/lacc_verify.cc). */
+struct EnumOptions
+{
+    std::uint32_t cores = 2;        //!< [2, 4]
+    std::uint32_t lines = 2;        //!< [1, 2]
+    std::string protocol = "lacc";  //!< factory key
+    std::string network = "mesh";   //!< factory key
+    /** Safety cap on distinct states (0 is invalid). */
+    std::uint64_t maxStates = 500000;
+};
+
+/** Outcome of an enumeration. */
+struct EnumResult
+{
+    std::uint64_t states = 0;      //!< distinct canonical states
+    std::uint64_t transitions = 0; //!< edges explored
+    /** True when the frontier drained below maxStates with no
+     * violation: every reachable state was visited and checked. */
+    bool exhaustive = false;
+    std::vector<std::string> violations; //!< first bad state's report
+    /** Global access sequence reaching the first bad state (one
+     * "core <c> r|w|f <hex-addr>" line per access), replayable with
+     * Multicore::testAccess. Empty when clean. */
+    std::string counterexample;
+};
+
+/** Enumerate and check every reachable state; see file header. */
+EnumResult enumerate(const EnumOptions &opt);
+
+/**
+ * The bounded configuration the enumerator explores: direct-mapped
+ * 16-set L1s (the two lines are 16 lines apart — same set, so
+ * evictions are reachable and replacement is deterministic), PCT =
+ * RATmax = 2 so every classifier transition is a few accesses away,
+ * ACKwise p=1 so pointer overflow is reachable with 2 sharers, one
+ * cluster (unique instruction homes).
+ */
+SystemConfig enumConfig(std::uint32_t cores, const std::string &protocol,
+                        const std::string &network);
+
+} // namespace verify
+} // namespace lacc
+
+#endif // LACC_VERIFY_ENUMERATE_HH

@@ -1,0 +1,139 @@
+#include "workload/litmus.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/log.hh"
+
+namespace lacc {
+
+namespace {
+
+// Each archetype gets its own page so R-NUCA classification is driven
+// purely by its access pattern.
+constexpr Addr kProdconsBase = Addr{0x5} << 32;
+constexpr Addr kFalseshareBase = Addr{0x6} << 32;
+constexpr Addr kTaslockBase = Addr{0x7} << 32;
+
+std::uint32_t
+rounds(std::uint32_t base, double op_scale)
+{
+    const double r = std::max(1.0, std::round(base * op_scale));
+    return static_cast<std::uint32_t>(r);
+}
+
+/**
+ * Producer-consumer: per round, core 0 writes a 4-word payload and
+ * then the flag line; consumers read flag then payload. A barrier
+ * opens every round so all cores contend on the same generation (the
+ * intra-round races are the point — the functional reference memory
+ * validates every read under whatever interleaving the timing model
+ * produces).
+ */
+TraceWorkload
+makeProdcons(const SystemConfig &cfg, double op_scale)
+{
+    const Addr flag = kProdconsBase;
+    const Addr data = kProdconsBase + cfg.lineSize;
+    const std::uint32_t n = rounds(12, op_scale);
+
+    std::vector<std::vector<MemOp>> streams(cfg.numCores);
+    for (std::uint32_t r = 0; r < n; ++r) {
+        for (std::uint32_t c = 0; c < cfg.numCores; ++c)
+            streams[c].push_back(MemOp::barrier());
+        for (std::uint32_t w = 0; w < 4; ++w)
+            streams[0].push_back(MemOp::write(data + w * 8));
+        streams[0].push_back(MemOp::write(flag));
+        for (std::uint32_t c = 1; c < cfg.numCores; ++c) {
+            streams[c].push_back(MemOp::read(flag));
+            for (std::uint32_t w = 0; w < 4; ++w)
+                streams[c].push_back(MemOp::read(data + w * 8));
+        }
+    }
+    return TraceWorkload("litmus-prodcons", std::move(streams));
+}
+
+/**
+ * False sharing: every core read-modify-writes its own word of one
+ * line. No synchronization at all — maximum ping-pong under a private
+ * caching protocol, word accesses under remote mode.
+ */
+TraceWorkload
+makeFalseshare(const SystemConfig &cfg, double op_scale)
+{
+    const std::uint32_t n = rounds(32, op_scale);
+
+    std::vector<std::vector<MemOp>> streams(cfg.numCores);
+    for (std::uint32_t r = 0; r < n; ++r) {
+        for (std::uint32_t c = 0; c < cfg.numCores; ++c) {
+            const Addr word =
+                kFalseshareBase + (c % cfg.wordsPerLine()) * 8;
+            streams[c].push_back(MemOp::read(word));
+            streams[c].push_back(MemOp::write(word));
+        }
+    }
+    return TraceWorkload("litmus-falseshare", std::move(streams));
+}
+
+/**
+ * Test-and-set lock: each core increments a shared counter inside the
+ * single lock's critical section. Ownership of both the lock line and
+ * the counter line migrates core to core in contention order.
+ */
+TraceWorkload
+makeTaslock(const SystemConfig &cfg, double op_scale)
+{
+    const Addr counter = kTaslockBase;
+    const std::uint32_t n = rounds(8, op_scale);
+
+    std::vector<std::vector<MemOp>> streams(cfg.numCores);
+    for (std::uint32_t r = 0; r < n; ++r) {
+        for (std::uint32_t c = 0; c < cfg.numCores; ++c) {
+            streams[c].push_back(MemOp::lockAcquire(0));
+            streams[c].push_back(MemOp::read(counter));
+            streams[c].push_back(MemOp::write(counter));
+            streams[c].push_back(MemOp::lockRelease(0));
+        }
+    }
+    return TraceWorkload("litmus-taslock", std::move(streams),
+                         /*num_locks=*/1);
+}
+
+} // namespace
+
+const std::vector<std::string> &
+litmusNames()
+{
+    static const std::vector<std::string> names = {
+        "litmus-prodcons",
+        "litmus-falseshare",
+        "litmus-taslock",
+    };
+    return names;
+}
+
+bool
+isLitmus(const std::string &name)
+{
+    const auto &names = litmusNames();
+    return std::find(names.begin(), names.end(), name) != names.end();
+}
+
+TraceWorkload
+makeLitmus(const std::string &name, const SystemConfig &cfg,
+           double op_scale)
+{
+    if (name == "litmus-prodcons")
+        return makeProdcons(cfg, op_scale);
+    if (name == "litmus-falseshare")
+        return makeFalseshare(cfg, op_scale);
+    if (name == "litmus-taslock")
+        return makeTaslock(cfg, op_scale);
+    std::string valid;
+    for (const auto &n : litmusNames())
+        valid += (valid.empty() ? "" : ", ") + n;
+    fatal("unknown litmus workload '%s' (valid: %s)", name.c_str(),
+          valid.c_str());
+}
+
+} // namespace lacc

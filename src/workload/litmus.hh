@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Litmus workloads: tiny, deterministic sharing archetypes whose whole
+ * point is to stress one coherence corner as hard as possible, usable
+ * both as verification inputs (src/verify/ runs them with functional
+ * checks on) and as named benchmarks in the harness (the "litmus"
+ * experiment sweeps them across protocols).
+ *
+ *  - litmus-prodcons:   core 0 writes a payload then a flag line each
+ *                       round; every other core reads the flag and the
+ *                       payload — the classic producer-consumer
+ *                       write-then-publish pattern (invalidation +
+ *                       sharing-miss chains, one writer, many readers).
+ *  - litmus-falseshare: every core read-modify-writes its *own* word
+ *                       of one shared line — pure false sharing, the
+ *                       pattern the paper's remote-access mode turns
+ *                       from line ping-pong into word accesses.
+ *  - litmus-taslock:    a test-and-set style critical section around a
+ *                       shared counter under the single lock —
+ *                       exclusive-ownership migration in a ring.
+ *
+ * All three are plain TraceWorkloads: replayable, serializable
+ * (tests/litmus/), and shrinkable by the fuzzer's reducer.
+ */
+
+#ifndef LACC_WORKLOAD_LITMUS_HH
+#define LACC_WORKLOAD_LITMUS_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/config.hh"
+#include "workload/trace_file.hh"
+
+namespace lacc {
+
+/** Registered litmus names: {"litmus-prodcons", ...}. */
+const std::vector<std::string> &litmusNames();
+
+/** @return true if @p name is a litmus workload. */
+bool isLitmus(const std::string &name);
+
+/**
+ * Build a named litmus workload for @p cfg's core count.
+ *
+ * @param op_scale multiplies the round count (>= 1 round always);
+ *                 the same knob benchmarkSpec takes.
+ *
+ * fatal() on an unknown name, listing the valid ones.
+ */
+TraceWorkload makeLitmus(const std::string &name, const SystemConfig &cfg,
+                         double op_scale = 1.0);
+
+} // namespace lacc
+
+#endif // LACC_WORKLOAD_LITMUS_HH

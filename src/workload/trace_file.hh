@@ -65,6 +65,17 @@ class TraceWorkload final : public Workload
     /** Remaining (unconsumed) ops of a core (test helper). */
     std::size_t remaining(CoreId core) const;
 
+    /**
+     * The underlying per-core op streams. Workloads are single-use
+     * (next() consumes); re-running a trace — the verification
+     * harness replays every corpus entry under several protocols —
+     * means constructing a fresh TraceWorkload from these streams.
+     */
+    const std::vector<std::vector<MemOp>> &streams() const
+    {
+        return streams_;
+    }
+
   private:
     std::string name_;
     std::vector<std::vector<MemOp>> streams_;

@@ -163,7 +163,8 @@ TEST(Registry, BuiltinsRegistered)
     const std::vector<std::string> expected = {
         "fig01", "fig02",  "fig08",  "fig09",    "fig10",
         "fig11", "fig12",  "fig13",  "fig14",    "table1",
-        "table2", "ablation", "ackwise", "scaling", "network"};
+        "table2", "ablation", "ackwise", "scaling", "network",
+        "litmus"};
     EXPECT_EQ(names, expected);
 }
 

@@ -11,6 +11,7 @@
 
 #include "net/mesh.hh"
 #include "system/multicore.hh"
+#include "verify/invariants.hh"
 #include "workload/trace_file.hh"
 
 namespace lacc {
@@ -619,6 +620,7 @@ TEST(Protocol, WriteInvalidatesBothL1CopiesOfDualHolder)
     EXPECT_GE(m.tile(0).stats.l1i.invalidationsRecv +
                   m.tile(0).stats.l1d.invalidationsRecv,
               2u);
+    EXPECT_TRUE(verify::checkAll(m).empty());
 }
 
 TEST(Protocol, DataEvictionKeepsDualHolderTracked)
@@ -644,6 +646,7 @@ TEST(Protocol, DataEvictionKeepsDualHolderTracked)
     // word was fetched.
     EXPECT_EQ(m.functionalErrors(), 0u);
     EXPECT_GE(m.tile(0).stats.l1i.invalidationsRecv, 1u);
+    EXPECT_TRUE(verify::checkAll(m).empty());
 }
 
 
@@ -659,6 +662,7 @@ TEST(Protocol, OwnerReadMergesOwnModifiedData)
     TraceWorkload wl("owner-read-merge", streams, 0);
     m.run(wl);
     EXPECT_EQ(m.functionalErrors(), 0u);
+    EXPECT_TRUE(verify::checkAll(m).empty());
 }
 
 TEST(Protocol, WriteGrantDropsStaleOtherL1Copy)
@@ -672,6 +676,7 @@ TEST(Protocol, WriteGrantDropsStaleOtherL1Copy)
     TraceWorkload wl("write-drops-other", streams, 0);
     m.run(wl);
     EXPECT_EQ(m.functionalErrors(), 0u);
+    EXPECT_TRUE(verify::checkAll(m).empty());
 }
 
 // ---------------------------------------------------------------------------

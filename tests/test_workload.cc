@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include "workload/archetypes.hh"
+#include "workload/litmus.hh"
 #include "workload/suite.hh"
 #include "workload/sync.hh"
 #include "workload/trace_file.hh"
@@ -331,6 +332,107 @@ TEST(Lock, FifoHandoff)
     EXPECT_EQ(w.core, 2);
     EXPECT_TRUE(lk.release(2, w) == false);
     EXPECT_FALSE(lk.held());
+}
+
+TEST(Litmus, NamesAreRecognizedAndConstructible)
+{
+    const auto cfg = cfg8();
+    EXPECT_GE(litmusNames().size(), 3u);
+    for (const auto &name : litmusNames()) {
+        EXPECT_TRUE(isLitmus(name));
+        TraceWorkload w = makeLitmus(name, cfg);
+        EXPECT_EQ(w.name(), name);
+        EXPECT_EQ(w.numCores(), cfg.numCores);
+    }
+    EXPECT_FALSE(isLitmus("radix"));
+    EXPECT_FALSE(isLitmus("litmus-"));
+}
+
+TEST(Litmus, UnknownNameIsFatal)
+{
+    EXPECT_EXIT(makeLitmus("litmus-bogus", cfg8()),
+                testing::ExitedWithCode(1), "unknown litmus");
+}
+
+TEST(Litmus, ProdconsStructure)
+{
+    const auto cfg = cfg8();
+    TraceWorkload w = makeLitmus("litmus-prodcons", cfg);
+    const auto &streams = w.streams();
+    // Every core has the same barrier count (rounds), producer writes,
+    // consumers only read data.
+    std::vector<std::size_t> barriers(cfg.numCores, 0);
+    std::size_t writes0 = 0;
+    for (std::uint32_t c = 0; c < cfg.numCores; ++c)
+        for (const auto &op : streams[c]) {
+            if (op.kind == MemOp::Kind::Barrier)
+                ++barriers[c];
+            else if (op.kind == MemOp::Kind::Write) {
+                EXPECT_EQ(c, 0u) << "only core 0 writes";
+                ++writes0;
+            }
+        }
+    for (std::uint32_t c = 1; c < cfg.numCores; ++c)
+        EXPECT_EQ(barriers[c], barriers[0]);
+    EXPECT_EQ(writes0, barriers[0] * 5); // 4 payload words + flag
+}
+
+TEST(Litmus, FalseshareOneLinePerRoundPerCore)
+{
+    const auto cfg = cfg8();
+    TraceWorkload w = makeLitmus("litmus-falseshare", cfg);
+    // All accesses land on a single cache line; each core touches its
+    // own word only.
+    std::set<Addr> lines;
+    std::map<std::uint32_t, std::set<Addr>> wordsByCore;
+    const auto &streams = w.streams();
+    for (std::uint32_t c = 0; c < cfg.numCores; ++c)
+        for (const auto &op : streams[c]) {
+            lines.insert(op.addr >> 6);
+            wordsByCore[c].insert(op.addr);
+        }
+    EXPECT_EQ(lines.size(), 1u);
+    for (const auto &[c, words] : wordsByCore)
+        EXPECT_EQ(words.size(), 1u) << "core " << c;
+}
+
+TEST(Litmus, TaslockBalancedAndScaled)
+{
+    const auto cfg = cfg8();
+    TraceWorkload w = makeLitmus("litmus-taslock", cfg);
+    EXPECT_EQ(w.numLocks(), 1u);
+    for (const auto &stream : w.streams()) {
+        long depth = 0;
+        for (const auto &op : stream) {
+            if (op.kind == MemOp::Kind::LockAcquire)
+                ++depth;
+            else if (op.kind == MemOp::Kind::LockRelease) {
+                --depth;
+                EXPECT_GE(depth, 0);
+            }
+        }
+        EXPECT_EQ(depth, 0);
+    }
+    // op_scale stretches the round count.
+    TraceWorkload big = makeLitmus("litmus-taslock", cfg, 2.0);
+    EXPECT_GT(big.streams()[0].size(), w.streams()[0].size());
+}
+
+TEST(Litmus, TracesRoundTripThroughSaveAndParse)
+{
+    const auto cfg = cfg8();
+    for (const auto &name : litmusNames()) {
+        TraceWorkload w = makeLitmus(name, cfg);
+        std::ostringstream os;
+        w.save(os);
+        std::istringstream is(os.str());
+        TraceWorkload back = TraceWorkload::parse(is, name);
+        EXPECT_EQ(back.numCores(), w.numCores()) << name;
+        EXPECT_EQ(back.numLocks(), w.numLocks()) << name;
+        for (std::uint32_t c = 0; c < w.numCores(); ++c)
+            EXPECT_EQ(back.streams()[c].size(), w.streams()[c].size())
+                << name << " core " << c;
+    }
 }
 
 TEST(Workload, LockLinesDisjoint)
