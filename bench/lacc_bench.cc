@@ -6,13 +6,13 @@
  * BENCH_<experiment>.json result files (docs/BENCHMARKS.md).
  *
  * Usage:
- *   lacc_bench --list | --list-protocols | --list-networks
- *   lacc_bench [--filter SUBSTR] [--jobs N] [--scale X] [--repeat N]
- *              [--protocol NAME] [--network NAME] [--json-dir DIR]
- *              [--quiet]
+ *   lacc_bench --list | --list-protocols | --list-networks |
+ *              --list-engines
+ *   lacc_bench [--filter SUBSTR] [--jobs N] [--sim-threads N]
+ *              [--scale X] [--repeat N] [--protocol NAME]
+ *              [--network NAME] [--json-dir DIR] [--quiet]
  */
 
-#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -26,6 +26,7 @@
 #include "net/factory.hh"
 #include "protocol/factory.hh"
 #include "sim/log.hh"
+#include "system/engine.hh"
 
 using namespace lacc;
 using namespace lacc::harness;
@@ -47,10 +48,17 @@ usage(std::FILE *to)
         "  --list-protocols  list coherence-protocol names and exit\n"
         "  --list-networks   list interconnect-topology names and"
         " exit\n"
+        "  --list-engines    list execution-engine names and exit\n"
         "  --filter SUBSTR   only experiments whose name contains"
         " SUBSTR\n"
         "  --jobs N          worker threads for the sweeps"
         " (default 1)\n"
+        "  --sim-threads N   worker threads inside each simulation\n"
+        "                    (N > 1 selects the sharded engine;"
+        " results\n"
+        "                    are bit-identical to serial). Composes\n"
+        "                    with --jobs up to the machine's thread\n"
+        "                    budget.\n"
         "  --scale X         op-count scale; overrides LACC_SCALE\n"
         "  --repeat N        simulate every job N times (throughput\n"
         "                    mode: stats are identical across repeats,\n"
@@ -81,31 +89,6 @@ parseUnsigned(const char *s, unsigned &out)
         return false;
     out = static_cast<unsigned>(v);
     return true;
-}
-
-std::string
-joined(const std::vector<std::string> &names)
-{
-    std::string out;
-    for (const auto &n : names)
-        out += (out.empty() ? "" : ", ") + n;
-    return out;
-}
-
-/**
- * Validate a --protocol/--network value against its factory's name
- * list up front, so a typo fails with the valid keys on one line
- * instead of dying mid-sweep in a worker thread.
- */
-bool
-validateName(const char *what, const std::string &value,
-             const std::vector<std::string> &names)
-{
-    if (std::find(names.begin(), names.end(), value) != names.end())
-        return true;
-    std::fprintf(stderr, "unknown %s '%s' (valid: %s)\n", what,
-                 value.c_str(), joined(names).c_str());
-    return false;
 }
 
 } // namespace
@@ -143,6 +126,10 @@ main(int argc, char **argv)
             for (const auto &name : networkNames())
                 std::printf("%s\n", name.c_str());
             return 0;
+        } else if (arg == "--list-engines") {
+            for (const auto &name : engineNames())
+                std::printf("%s\n", name.c_str());
+            return 0;
         } else if (arg == "--filter") {
             filter = value("--filter");
         } else if (arg == "--jobs") {
@@ -164,15 +151,19 @@ main(int argc, char **argv)
                              " [1, 1024]\n");
                 return 2;
             }
+        } else if (arg == "--sim-threads") {
+            unsigned st = 0;
+            if (!parseUnsigned(value("--sim-threads"), st)) {
+                std::fprintf(stderr,
+                             "--sim-threads wants an integer in"
+                             " [1, 1024]\n");
+                return 2;
+            }
+            opts.overrides.simThreads = st;
         } else if (arg == "--protocol") {
-            opts.protocol = value("--protocol");
-            if (!validateName("protocol", opts.protocol,
-                              protocolNames()))
-                return 2;
+            opts.overrides.protocol = value("--protocol");
         } else if (arg == "--network") {
-            opts.network = value("--network");
-            if (!validateName("network", opts.network, networkNames()))
-                return 2;
+            opts.overrides.network = value("--network");
         } else if (arg == "--json-dir") {
             jsonDir = value("--json-dir");
         } else if (arg == "--quiet") {
@@ -183,6 +174,12 @@ main(int argc, char **argv)
             return 2;
         }
     }
+
+    // One validation point for every name-valued override: a typo
+    // fails here with the valid keys on one line instead of dying
+    // mid-sweep in a worker thread.
+    if (!opts.overrides.validateOrReport())
+        return 2;
 
     const auto selected = Registry::instance().match(filter);
     if (selected.empty()) {

@@ -9,17 +9,16 @@
  *
  * Usage:
  *   lacc_verify --fuzz [--seed N] [--iters N] [--cores N] [--ops N]
- *               [--protocol NAME] [--network NAME] [--repro-dir DIR]
- *               [--no-stepwise]
+ *               [--protocol NAME] [--network NAME] [--sim-threads N]
+ *               [--repro-dir DIR] [--no-stepwise]
  *   lacc_verify --enumerate [--cores N] [--lines N] [--max-states N]
  *               [--protocol NAME] [--network NAME]
- *   lacc_verify --list-protocols | --list-networks
+ *   lacc_verify --list-protocols | --list-networks | --list-engines
  *
  * Exit status: 0 clean, 1 violation found (or state cap hit before
  * the space was exhausted), 2 usage error.
  */
 
-#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
@@ -30,6 +29,8 @@
 #include "net/factory.hh"
 #include "protocol/factory.hh"
 #include "sim/log.hh"
+#include "sim/overrides.hh"
+#include "system/engine.hh"
 #include "verify/enumerate.hh"
 #include "verify/fuzz.hh"
 
@@ -61,6 +62,9 @@ usage(std::FILE *to)
         " (default 25)\n"
         "  --cores N         cores per trace, in [2, 16] (default 4)\n"
         "  --ops N           ops per core, in [1, 4096] (default 24)\n"
+        "  --sim-threads N   engine worker threads for the full timed\n"
+        "                    runs, in [1, 1024] (N > 1 = sharded"
+        " engine)\n"
         "  --repro-dir DIR   write minimized repro traces into DIR\n"
         "  --no-stepwise     skip the per-access invariant replay\n"
         "\n"
@@ -78,6 +82,7 @@ usage(std::FILE *to)
         "  --list-protocols  list coherence-protocol names and exit\n"
         "  --list-networks   list interconnect-topology names and"
         " exit\n"
+        "  --list-engines    list execution-engine names and exit\n"
         "  --help            this message\n");
 }
 
@@ -124,26 +129,6 @@ parseOrDie(const char *name, const char *s, std::uint64_t lo,
     return v;
 }
 
-std::string
-joined(const std::vector<std::string> &names)
-{
-    std::string out;
-    for (const auto &n : names)
-        out += (out.empty() ? "" : ", ") + n;
-    return out;
-}
-
-bool
-validateName(const char *what, const std::string &value,
-             const std::vector<std::string> &names)
-{
-    if (std::find(names.begin(), names.end(), value) != names.end())
-        return true;
-    std::fprintf(stderr, "unknown %s '%s' (valid: %s)\n", what,
-                 value.c_str(), joined(names).c_str());
-    return false;
-}
-
 } // namespace
 
 int
@@ -154,7 +139,7 @@ main(int argc, char **argv)
     bool fuzz = false, enumer = false;
     FuzzOptions fo;
     EnumOptions eo;
-    std::string protocol, network;
+    ConfigOverrides ov;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -181,6 +166,10 @@ main(int argc, char **argv)
             for (const auto &name : networkNames())
                 std::printf("%s\n", name.c_str());
             return 0;
+        } else if (arg == "--list-engines") {
+            for (const auto &name : engineNames())
+                std::printf("%s\n", name.c_str());
+            return 0;
         } else if (arg == "--seed") {
             fo.seed = parseOrDie("--seed", value("--seed"), 0,
                                  UINT64_MAX / 2);
@@ -203,14 +192,13 @@ main(int argc, char **argv)
         } else if (arg == "--max-states") {
             eo.maxStates = parseOrDie(
                 "--max-states", value("--max-states"), 1, 100000000);
+        } else if (arg == "--sim-threads") {
+            ov.simThreads = static_cast<std::uint32_t>(parseOrDie(
+                "--sim-threads", value("--sim-threads"), 1, 1024));
         } else if (arg == "--protocol") {
-            protocol = value("--protocol");
-            if (!validateName("protocol", protocol, protocolNames()))
-                return 2;
+            ov.protocol = value("--protocol");
         } else if (arg == "--network") {
-            network = value("--network");
-            if (!validateName("network", network, networkNames()))
-                return 2;
+            ov.network = value("--network");
         } else if (arg == "--repro-dir") {
             fo.reproDir = value("--repro-dir");
         } else if (arg == "--no-stepwise") {
@@ -229,6 +217,11 @@ main(int argc, char **argv)
         return 2;
     }
 
+    // One validation point for the name-valued overrides (shared with
+    // lacc_bench via sim/overrides.hh).
+    if (!ov.validateOrReport())
+        return 2;
+
     if (fuzz) {
         if (fo.cores < 2 || fo.cores > 16) {
             std::fprintf(stderr,
@@ -236,8 +229,9 @@ main(int argc, char **argv)
                          fo.cores);
             return 2;
         }
-        fo.protocol = protocol;
-        fo.network = network;
+        fo.protocol = ov.protocol;
+        fo.network = ov.network;
+        fo.simThreads = ov.simThreads;
         const FuzzResult res = runFuzz(fo);
         std::printf("fuzz: seed %" PRIu64 ", %u traces, %" PRIu64
                     " runs, %" PRIu64 " failure(s)\n",
@@ -257,10 +251,16 @@ main(int argc, char **argv)
                      eo.cores);
         return 2;
     }
-    if (!protocol.empty())
-        eo.protocol = protocol;
-    if (!network.empty())
-        eo.network = network;
+    if (ov.simThreads > 1) {
+        std::fprintf(stderr,
+                     "--sim-threads applies to --fuzz only (the"
+                     " enumerator drives accesses stepwise)\n");
+        return 2;
+    }
+    if (!ov.protocol.empty())
+        eo.protocol = ov.protocol;
+    if (!ov.network.empty())
+        eo.network = ov.network;
     const EnumResult res = enumerate(eo);
     std::printf("enumerate: %s x %s, %u cores, %u line(s): %" PRIu64
                 " states, %" PRIu64 " transitions, %s\n",

@@ -6,9 +6,6 @@
 #include <cstdio>
 #include <thread>
 
-#include "net/factory.hh"
-#include "protocol/factory.hh"
-
 namespace lacc::harness {
 
 namespace {
@@ -38,32 +35,15 @@ runSweep(const std::vector<Job> &jobs, const SweepOptions &opts)
 
     const double scale = resolveOpScale(opts);
 
-    // A --protocol/--network override rewrites job configs but not
-    // their labels: an experiment that deliberately sweeps protocols
-    // or topologies (e.g. ackwise, network) would print rows whose
-    // label names one variant and whose numbers came from another.
-    // Make that loudly visible.
-    const auto warn_override =
-        [&jobs](const char *what, const std::string &value,
-                const char *(*name_for)(const SystemConfig &)) {
-            if (value.empty())
-                return;
-            std::size_t overridden = 0;
-            for (const auto &j : jobs)
-                if (value != name_for(j.cfg))
-                    ++overridden;
-            if (overridden > 0) {
-                std::fprintf(stderr,
-                             "[bench] warning: --%s %s overrides"
-                             " %zu/%zu jobs whose configs select a"
-                             " different %s; labels and table rows"
-                             " keep their original %s names\n",
-                             what, value.c_str(), overridden,
-                             jobs.size(), what, what);
-            }
-        };
-    warn_override("protocol", opts.protocol, protocolNameFor);
-    warn_override("network", opts.network, networkNameFor);
+    // The single "you are overriding a deliberate sweep" warning
+    // implementation lives with ConfigOverrides (sim/overrides.hh).
+    {
+        std::vector<const SystemConfig *> cfgs;
+        cfgs.reserve(jobs.size());
+        for (const auto &j : jobs)
+            cfgs.push_back(&j.cfg);
+        opts.overrides.warnIfOverridingSweep(cfgs);
+    }
 
     const unsigned repeat = opts.effectiveRepeat();
     std::atomic<std::size_t> next{0};
@@ -75,10 +55,7 @@ runSweep(const std::vector<Job> &jobs, const SweepOptions &opts)
             if (i >= jobs.size())
                 return;
             Job job = jobs[i];
-            if (!opts.protocol.empty())
-                applyProtocolName(job.cfg, opts.protocol);
-            if (!opts.network.empty())
-                applyNetworkName(job.cfg, opts.network);
+            opts.overrides.apply(job.cfg);
             if (opts.progress)
                 std::fprintf(stderr, "[bench] %s\n", job.label.c_str());
             // Repeats are bit-identical (deterministic simulation);
@@ -92,8 +69,22 @@ runSweep(const std::vector<Job> &jobs, const SweepOptions &opts)
         }
     };
 
-    const std::size_t want = opts.jobs == 0 ? 1 : opts.jobs;
-    const std::size_t n = std::min<std::size_t>(want, jobs.size());
+    // --jobs and --sim-threads compose multiplicatively: each job may
+    // itself shard across overrides.simThreads workers. Cap the pool
+    // so the total stays within the machine's thread budget.
+    const unsigned want = opts.jobs == 0 ? 1 : opts.jobs;
+    const unsigned budget =
+        std::max(1u, std::thread::hardware_concurrency());
+    const unsigned capped =
+        clampJobsToBudget(want, opts.overrides.simThreads, budget);
+    if (capped != want) {
+        std::fprintf(stderr,
+                     "[bench] warning: --jobs %u x --sim-threads %u"
+                     " exceeds the machine's %u hardware threads;"
+                     " clamping to --jobs %u\n",
+                     want, opts.overrides.simThreads, budget, capped);
+    }
+    const std::size_t n = std::min<std::size_t>(capped, jobs.size());
     if (n <= 1) {
         worker();
     } else {

@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "harness/registry.hh"
+#include "sim/overrides.hh"
 
 namespace lacc::harness {
 
@@ -61,17 +62,14 @@ struct SweepOptions
     /** Emit a "[bench] <label>" line to stderr as each job starts. */
     bool progress = true;
     /**
-     * Force every job onto a named coherence protocol
-     * (protocol/factory.hh names, e.g. "fullmap"); empty = run each
-     * job's configured protocol. Maps onto `lacc_bench --protocol`.
+     * CLI config overrides applied to every job before it runs:
+     * protocol/network force a named variant (maps onto `lacc_bench
+     * --protocol/--network`), simThreads selects the execution engine
+     * (`--sim-threads`; > 1 shards each simulation across that many
+     * worker threads). The runner clamps its pool so jobs x simThreads
+     * stays within the machine's thread budget (clampJobsToBudget).
      */
-    std::string protocol;
-    /**
-     * Force every job onto a named interconnect topology
-     * (net/factory.hh names, e.g. "torus"); empty = run each job's
-     * configured network. Maps onto `lacc_bench --network`.
-     */
-    std::string network;
+    ConfigOverrides overrides;
 };
 
 /** @return @p opts.opScale if positive, else the LACC_SCALE value. */

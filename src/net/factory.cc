@@ -4,7 +4,7 @@
 #include "net/mesh.hh"
 #include "net/ring.hh"
 #include "net/torus.hh"
-#include "sim/log.hh"
+#include "sim/named_registry.hh"
 
 namespace lacc {
 
@@ -12,7 +12,8 @@ namespace {
 
 /**
  * The single registration point: adding a topology means adding one
- * entry here (plus its NetworkKind).
+ * entry here (plus its NetworkKind). Lookup and diagnostics come from
+ * the shared named-registry helpers.
  */
 struct NetworkEntry
 {
@@ -45,56 +46,35 @@ const NetworkEntry kNetworks[] = {
      }},
 };
 
-const NetworkEntry &
-entryFor(const SystemConfig &cfg)
-{
-    for (const auto &e : kNetworks)
-        if (e.kind == cfg.networkKind)
-            return e;
-    panic("no network registered for NetworkKind %d",
-          static_cast<int>(cfg.networkKind));
-}
-
 } // namespace
 
 std::unique_ptr<NetworkModel>
 makeNetwork(const SystemConfig &cfg, EnergyModel &energy)
 {
-    return entryFor(cfg).make(cfg, energy);
+    return registry::entryForKind(kNetworks, cfg.networkKind, "network")
+        .make(cfg, energy);
 }
 
 const std::vector<std::string> &
 networkNames()
 {
-    static const std::vector<std::string> names = [] {
-        std::vector<std::string> out;
-        for (const auto &e : kNetworks)
-            out.emplace_back(e.name);
-        return out;
-    }();
+    static const std::vector<std::string> names =
+        registry::entryNames(kNetworks);
     return names;
 }
 
 const char *
 networkNameFor(const SystemConfig &cfg)
 {
-    return entryFor(cfg).name;
+    return registry::entryForKind(kNetworks, cfg.networkKind, "network")
+        .name;
 }
 
 void
 applyNetworkName(SystemConfig &cfg, const std::string &name)
 {
-    for (const auto &e : kNetworks) {
-        if (name == e.name) {
-            cfg.networkKind = e.kind;
-            return;
-        }
-    }
-    std::string known;
-    for (const auto &e : kNetworks)
-        known += (known.empty() ? "" : ", ") + std::string(e.name);
-    fatal("unknown network '%s' (known: %s)", name.c_str(),
-          known.c_str());
+    cfg.networkKind =
+        registry::entryForNameOrFatal(kNetworks, "network", name).kind;
 }
 
 } // namespace lacc

@@ -47,7 +47,7 @@ BaseL1Controller::access(CoreId c, Addr addr, bool is_write,
         // L1 hit. Writes to an E copy silently upgrade to M.
         if (is_write) {
             e.meta().state = L1State::Modified;
-            const std::uint64_t v = ctx_.mem.nextValue();
+            const std::uint64_t v = ctx_.mem.nextValue(c);
             e.words()[word] = v;
             ctx_.mem.write(addr, v);
         } else {
@@ -170,6 +170,11 @@ DropResult
 BaseL1Controller::dropCopy(CoreId s, LineAddr line, L2Cache::Entry entry,
                            bool l2_eviction)
 {
+    // Cross-tile reach: the engine must settle core s's in-flight
+    // local work before this transaction reads/kills its copies.
+    if (ctx_.touch)
+        ctx_.touch->onCrossTileTouch(s);
+
     Tile &st = *ctx_.tiles[s];
     DropResult res{};
     bool found = false;
@@ -220,6 +225,12 @@ BaseL1Controller::dropCopy(CoreId s, LineAddr line, L2Cache::Entry entry,
 bool
 BaseL1Controller::downgradeCopy(CoreId owner, L2Cache::Entry entry)
 {
+    // Cross-tile reach (see dropCopy): a downgrade turns the owner's
+    // E/M copy into S, changing the write-hit outcome of its later
+    // accesses — the engine must settle and re-scan the owner.
+    if (ctx_.touch)
+        ctx_.touch->onCrossTileTouch(owner);
+
     Tile &ot = *ctx_.tiles[owner];
     auto e = ot.l1d.find(entry.tag());
     if (!e)
@@ -340,6 +351,12 @@ BaseDirectoryController::request(CoreId c, Addr addr, bool is_write,
                                  bool is_ifetch, bool upgrade,
                                  const L1SetHint &hint)
 {
+    // Engine guard: a directory transaction must only ever run in a
+    // serial phase (a mispredicted parallel-phase miss panics here
+    // before it can race on shared directory/network state).
+    if (ctx_.touch)
+        ctx_.touch->onDirectoryRequest(c);
+
     Tile &rt = *ctx_.tiles[c];
     const LineAddr line = ctx_.addr.lineOf(addr);
     const std::uint32_t word = ctx_.addr.wordOf(addr);
@@ -378,7 +395,7 @@ BaseDirectoryController::request(CoreId c, Addr addr, bool is_write,
     bool granted = false;
 
     if (is_write) {
-        const std::uint64_t val = ctx_.mem.nextValue();
+        const std::uint64_t val = ctx_.mem.nextValue(c);
         // A write resets the remote utilization of all other remote
         // sharers (§3.2) and invalidates all private sharers.
         classifier_->onWriteByOther(*entry.meta().cls, c);

@@ -3,7 +3,7 @@
 #include "protocol/fullmap.hh"
 #include "protocol/lacc.hh"
 #include "sim/config.hh"
-#include "sim/log.hh"
+#include "sim/named_registry.hh"
 
 namespace lacc {
 
@@ -11,7 +11,8 @@ namespace {
 
 /**
  * The single registration point: adding a protocol means adding one
- * entry here (plus its DirectoryKind, if it needs a new one).
+ * entry here (plus its DirectoryKind, if it needs a new one). Lookup
+ * and diagnostics come from the shared named-registry helpers.
  */
 struct ProtocolEntry
 {
@@ -31,56 +32,38 @@ const ProtocolEntry kProtocols[] = {
      }},
 };
 
-const ProtocolEntry &
-entryFor(const SystemConfig &cfg)
-{
-    for (const auto &e : kProtocols)
-        if (e.kind == cfg.directoryKind)
-            return e;
-    panic("no protocol registered for DirectoryKind %d",
-          static_cast<int>(cfg.directoryKind));
-}
-
 } // namespace
 
 std::unique_ptr<CoherenceProtocol>
 makeProtocol(const SystemConfig &cfg, const ProtocolContext &ctx)
 {
-    return entryFor(cfg).make(ctx);
+    return registry::entryForKind(kProtocols, cfg.directoryKind,
+                                  "protocol")
+        .make(ctx);
 }
 
 const std::vector<std::string> &
 protocolNames()
 {
-    static const std::vector<std::string> names = [] {
-        std::vector<std::string> out;
-        for (const auto &e : kProtocols)
-            out.emplace_back(e.name);
-        return out;
-    }();
+    static const std::vector<std::string> names =
+        registry::entryNames(kProtocols);
     return names;
 }
 
 const char *
 protocolNameFor(const SystemConfig &cfg)
 {
-    return entryFor(cfg).name;
+    return registry::entryForKind(kProtocols, cfg.directoryKind,
+                                  "protocol")
+        .name;
 }
 
 void
 applyProtocolName(SystemConfig &cfg, const std::string &name)
 {
-    for (const auto &e : kProtocols) {
-        if (name == e.name) {
-            cfg.directoryKind = e.kind;
-            return;
-        }
-    }
-    std::string known;
-    for (const auto &e : kProtocols)
-        known += (known.empty() ? "" : ", ") + std::string(e.name);
-    fatal("unknown protocol '%s' (known: %s)", name.c_str(),
-          known.c_str());
+    cfg.directoryKind =
+        registry::entryForNameOrFatal(kProtocols, "protocol", name)
+            .kind;
 }
 
 } // namespace lacc

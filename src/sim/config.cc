@@ -50,6 +50,16 @@ networkKindName(NetworkKind k)
     }
 }
 
+const char *
+engineKindName(EngineKind k)
+{
+    switch (k) {
+      case EngineKind::Serial: return "serial";
+      case EngineKind::Sharded: return "sharded";
+      default: return "?";
+    }
+}
+
 std::uint32_t
 SystemConfig::ratForLevel(std::uint32_t level) const
 {
@@ -92,6 +102,8 @@ SystemConfig::validate() const
     if (clusterSize == 0 || numCores % clusterSize != 0)
         fatal("clusterSize (%u) must divide numCores (%u)", clusterSize,
               numCores);
+    if (simThreads == 0 || simThreads > 1024)
+        fatal("simThreads (%u) must be in [1, 1024]", simThreads);
 }
 
 std::string
@@ -110,9 +122,13 @@ SystemConfig::summary() const
         os << ", RATmax=" << ratMax << ", nRATlevels=" << nRatLevels;
     }
     // The default fabric is implicit so pre-existing banners stay
-    // byte-identical; non-mesh runs announce their topology.
+    // byte-identical; non-mesh runs announce their topology. Same for
+    // the execution engine: only non-serial runs announce it.
     if (networkKind != NetworkKind::Mesh)
         os << ", net=" << networkKindName(networkKind);
+    if (engineKind != EngineKind::Serial)
+        os << ", engine=" << engineKindName(engineKind) << "x"
+           << simThreads;
     return os.str();
 }
 

@@ -54,11 +54,20 @@ enum class NetworkKind : std::uint8_t {
     Crossbar,
 };
 
+/** Execution engine driving a simulation (system/engine.hh builds it). */
+enum class EngineKind : std::uint8_t {
+    /** Single-threaded event loop (the reference interleaving). */
+    Serial,
+    /** Tile-sharded worker pool with deterministic epoch commits. */
+    Sharded,
+};
+
 /** Human-readable names for the enums above. */
 const char *classifierKindName(ClassifierKind k);
 const char *protocolKindName(ProtocolKind k);
 const char *directoryKindName(DirectoryKind k);
 const char *networkKindName(NetworkKind k);
+const char *engineKindName(EngineKind k);
 
 /**
  * All architectural and protocol parameters. Defaults reproduce Table 1
@@ -124,6 +133,15 @@ struct SystemConfig
      * clustering).
      */
     bool rnucaEnabled = true;
+
+    // ---- Execution engine ---------------------------------------------
+    EngineKind engineKind = EngineKind::Serial;
+    /**
+     * Worker threads inside one simulation (ShardedEngine only; the
+     * serial engine ignores it). Results are bit-identical to serial
+     * for any value — this knob trades threads for wall-clock only.
+     */
+    std::uint32_t simThreads = 1;
 
     // ---- Workload / misc ----------------------------------------------
     std::uint64_t seed = 42;           //!< global workload seed

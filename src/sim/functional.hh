@@ -7,13 +7,23 @@
  * against (mirroring Graphite's functionally-correct memory system,
  * §4.1). Owned by Multicore; handed to the protocol through the
  * ProtocolContext.
+ *
+ * Threading: store values are generated from per-core counters, so
+ * the value a store produces depends only on (core, store index) and
+ * never on cross-core execution order — a requirement for the sharded
+ * execution engine, where independent cores commit concurrently. The
+ * reference map itself is guarded by a mutex that is only ever taken
+ * when checking is enabled; benches run with checks off and pay
+ * nothing.
  */
 
 #ifndef LACC_SIM_FUNCTIONAL_HH
 #define LACC_SIM_FUNCTIONAL_HH
 
 #include <cstdint>
+#include <mutex>
 #include <unordered_map>
+#include <vector>
 
 #include "sim/log.hh"
 #include "sim/types.hh"
@@ -30,6 +40,14 @@ class FunctionalMemory
      */
     void setChecks(bool on) { checks_ = on; }
     bool checksEnabled() const { return checks_; }
+
+    /** Size the per-core value generators (Multicore calls this). */
+    void
+    setCores(std::uint32_t n)
+    {
+        if (counters_.size() < n)
+            counters_.resize(n, 0);
+    }
 
     /** The 64-bit-word address backing a byte address. */
     static constexpr Addr
@@ -51,15 +69,27 @@ class FunctionalMemory
             mem_.reserve(expected_words);
     }
 
-    /** A fresh, globally unique store value. */
-    std::uint64_t nextValue() { return ++counter_; }
+    /**
+     * A fresh store value for a store by core @p c: globally unique
+     * (core id in the low bits) and a pure function of the core's own
+     * store count, independent of other cores' progress.
+     */
+    std::uint64_t
+    nextValue(CoreId c)
+    {
+        if (c >= counters_.size())
+            counters_.resize(static_cast<std::size_t>(c) + 1, 0);
+        return (++counters_[c] << 12) | (c & 0xfff);
+    }
 
     /** Record a store's value in the reference memory. */
     void
     write(Addr addr, std::uint64_t v)
     {
-        if (checks_)
-            mem_[wordAddr(addr)] = v;
+        if (!checks_)
+            return;
+        std::lock_guard<std::mutex> g(mu_);
+        mem_[wordAddr(addr)] = v;
     }
 
     /** Check a load's value against the reference memory. */
@@ -68,6 +98,7 @@ class FunctionalMemory
     {
         if (!checks_)
             return;
+        std::lock_guard<std::mutex> g(mu_);
         const auto it = mem_.find(wordAddr(addr));
         const std::uint64_t expect = it == mem_.end() ? 0 : it->second;
         if (got != expect) {
@@ -119,8 +150,9 @@ class FunctionalMemory
 
   private:
     bool checks_ = true;
-    std::uint64_t counter_ = 0;
     std::uint64_t errors_ = 0;
+    std::vector<std::uint64_t> counters_;
+    std::mutex mu_;
     std::unordered_map<Addr, std::uint64_t, MixAddrHash> mem_;
 };
 

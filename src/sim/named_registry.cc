@@ -1,0 +1,21 @@
+#include "sim/named_registry.hh"
+
+#include <cstdio>
+
+namespace lacc {
+namespace registry {
+
+bool
+validateName(const char *what, const std::string &value,
+             const std::vector<std::string> &names)
+{
+    for (const auto &n : names)
+        if (n == value)
+            return true;
+    std::fprintf(stderr, "unknown %s '%s' (valid: %s)\n", what,
+                 value.c_str(), joinNames(names).c_str());
+    return false;
+}
+
+} // namespace registry
+} // namespace lacc

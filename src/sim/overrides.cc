@@ -1,0 +1,83 @@
+#include "sim/overrides.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "net/factory.hh"
+#include "protocol/factory.hh"
+#include "sim/config.hh"
+#include "sim/named_registry.hh"
+#include "system/engine.hh"
+
+namespace lacc {
+
+bool
+ConfigOverrides::validateOrReport() const
+{
+    bool ok = true;
+    if (!protocol.empty() &&
+        !registry::validateName("protocol", protocol, protocolNames()))
+        ok = false;
+    if (!network.empty() &&
+        !registry::validateName("network", network, networkNames()))
+        ok = false;
+    return ok;
+}
+
+void
+ConfigOverrides::apply(SystemConfig &cfg) const
+{
+    if (!protocol.empty())
+        applyProtocolName(cfg, protocol);
+    if (!network.empty())
+        applyNetworkName(cfg, network);
+    if (simThreads != 0) {
+        cfg.simThreads = simThreads;
+        cfg.engineKind =
+            simThreads > 1 ? EngineKind::Sharded : EngineKind::Serial;
+    }
+}
+
+void
+ConfigOverrides::warnIfOverridingSweep(
+    const std::vector<const SystemConfig *> &cfgs) const
+{
+    const auto warn_dim = [&cfgs](const char *what,
+                                  const std::string &value,
+                                  const char *(*name_for)(
+                                      const SystemConfig &)) {
+        if (value.empty())
+            return;
+        std::size_t overridden = 0;
+        for (const SystemConfig *cfg : cfgs)
+            if (value != name_for(*cfg))
+                ++overridden;
+        if (overridden > 0) {
+            std::fprintf(stderr,
+                         "[bench] warning: --%s %s overrides"
+                         " %zu/%zu jobs whose configs select a"
+                         " different %s; labels and table rows"
+                         " keep their original %s names\n",
+                         what, value.c_str(), overridden,
+                         cfgs.size(), what, what);
+        }
+    };
+    warn_dim("protocol", protocol, protocolNameFor);
+    warn_dim("network", network, networkNameFor);
+}
+
+unsigned
+clampJobsToBudget(unsigned jobs, std::uint32_t sim_threads,
+                  unsigned hw_budget)
+{
+    if (jobs == 0)
+        jobs = 1;
+    const std::uint64_t per = std::max<std::uint32_t>(sim_threads, 1);
+    const std::uint64_t budget = std::max(hw_budget, 1u);
+    if (jobs * per <= budget)
+        return jobs;
+    return static_cast<unsigned>(
+        std::max<std::uint64_t>(1, budget / per));
+}
+
+} // namespace lacc

@@ -33,16 +33,20 @@ Multicore::Multicore(const SystemConfig &cfg)
         tiles_.push_back(std::make_unique<Tile>(static_cast<CoreId>(c),
                                                 cfg_));
     stats_.perCore.resize(cfg_.numCores);
+    mem_.setCores(cfg_.numCores);
+    // Engine before protocol: the controllers copy the context (and
+    // with it the engine's touch-observer pointer) by value.
+    engine_ = makeEngine(cfg_, *this);
     protocol_ = makeProtocol(
         cfg_, ProtocolContext{cfg_, addr_, tiles_, net_, energy_,
                               dram_, pageTable_, placement_, stats_,
-                              mem_});
+                              mem_, engine_->touchObserver()});
 }
 
 void
 Multicore::schedule(CoreId c, Cycle t)
 {
-    queue_.emplace(t, c);
+    engine_->onSchedule(c, t);
 }
 
 const SystemStats &
@@ -61,25 +65,7 @@ Multicore::run(Workload &workload)
     mem_.reserveFootprint(
         static_cast<std::size_t>(workload.footprintBytes() / 8));
 
-    for (std::uint32_t c = 0; c < cfg_.numCores; ++c)
-        schedule(static_cast<CoreId>(c), 0);
-
-    while (!queue_.empty()) {
-        const auto [t, c] = queue_.top();
-        queue_.pop();
-        Tile &tl = *tiles_[c];
-        if (tl.status != CoreStatus::Runnable)
-            panic("scheduled core %u is not runnable", c);
-        tl.now = std::max(tl.now, t);
-        MemOp op;
-        if (!tl.pending.empty()) {
-            op = tl.pending.front();
-            tl.pending.pop_front();
-        } else {
-            op = workload.next(static_cast<CoreId>(c));
-        }
-        step(static_cast<CoreId>(c), op);
-    }
+    engine_->run(workload);
 
     for (const auto &tp : tiles_) {
         if (tp->status != CoreStatus::Finished) {

@@ -36,7 +36,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <queue>
 #include <vector>
 
 #include "core/classifier.hh"
@@ -52,6 +51,7 @@
 #include "sim/config.hh"
 #include "sim/functional.hh"
 #include "sim/stats.hh"
+#include "system/engine.hh"
 #include "system/tile.hh"
 #include "workload/sync.hh"
 #include "workload/workload.hh"
@@ -99,6 +99,8 @@ class Multicore
     const Placement &placement() const { return placement_; }
     /** The coherence protocol this system runs (factory-selected). */
     CoherenceProtocol &protocol() { return *protocol_; }
+    /** The execution engine driving the event loop (factory-selected). */
+    ExecutionEngine &engine() { return *engine_; }
     /** The system-wide locality classifier policy object. */
     LocalityClassifier &classifier() { return protocol_->classifier(); }
     /** The DRAM model behind the memory controllers. */
@@ -117,6 +119,11 @@ class Multicore
                      bool is_ifetch = false);
 
   private:
+    // Engines drive the event loop: they pop/dispatch ops via step()
+    // and receive the schedule() callbacks it generates.
+    friend class SerialEngine;
+    friend class ShardedEngine;
+
     // ---- Event loop -----------------------------------------------------
     void step(CoreId c, const MemOp &op);
     void schedule(CoreId c, Cycle t);
@@ -159,13 +166,17 @@ class Multicore
     // Functional reference memory (word granularity).
     FunctionalMemory mem_;
 
+    /**
+     * The pluggable execution engine (SystemConfig::engineKind) —
+     * constructed before the protocol so its touch observer can be
+     * wired into the ProtocolContext.
+     */
+    std::unique_ptr<ExecutionEngine> engine_;
+
     /** The pluggable coherence engine (constructed after the tiles). */
     std::unique_ptr<CoherenceProtocol> protocol_;
 
-    // Event loop.
-    using QEntry = std::pair<Cycle, CoreId>;
-    std::priority_queue<QEntry, std::vector<QEntry>, std::greater<>>
-        queue_;
+    // Event loop (owned by the engine; set for the duration of run()).
     Workload *workload_ = nullptr;
 
     // Synchronization.

@@ -1,0 +1,440 @@
+#include "system/sharded.hh"
+
+#include <algorithm>
+
+#include "energy/model.hh"
+#include "sim/config.hh"
+#include "sim/log.hh"
+#include "system/multicore.hh"
+#include "system/tile.hh"
+#include "workload/workload.hh"
+
+namespace lacc {
+
+namespace {
+
+/** Ops examined per scanCore() call before yielding. */
+constexpr std::uint64_t kScanCap = 256;
+
+/** Per-core cap on annotated-but-uncommitted local ops. */
+constexpr std::size_t kMaxAnnotations = 8192;
+
+} // namespace
+
+void
+ShardedEngine::run(Workload &workload)
+{
+    if (!workload.concurrentNextSafe()) {
+        warn("workload '%s': next() is not concurrent-safe; the "
+             "sharded engine is running it serially",
+             workload.name().c_str());
+        fallback_ = std::make_unique<SerialEngine>(m_);
+        fallback_->run(workload);
+        return;
+    }
+
+    const std::uint32_t n = m_.cfg_.numCores;
+    nWorkers_ = std::min(std::max(threads_, 1u), n);
+    cores_.assign(n, CoreScan{});
+    // Per-worker energy slots (slot 0 stays with the drain thread);
+    // the counters are integers, so the merged totals are exact.
+    m_.energy_.setSlots(nWorkers_ + 1);
+
+    workers_.reserve(nWorkers_);
+    for (std::uint32_t w = 0; w < nWorkers_; ++w)
+        workers_.emplace_back(&ShardedEngine::workerMain, this, w);
+
+    for (;;) {
+        runJob(Job::Scan);
+        computeH();
+        if (haveH_)
+            runJob(Job::Commit);
+        if (!drain())
+            break;
+    }
+
+    runJob(Job::Exit);
+    for (auto &t : workers_)
+        t.join();
+    workers_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Worker pool
+// ---------------------------------------------------------------------------
+
+void
+ShardedEngine::runJob(Job j)
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        job_ = j;
+        jobRemaining_ = nWorkers_;
+        ++jobEpoch_;
+        inParallelPhase_ = j == Job::Scan || j == Job::Commit;
+    }
+    cvWork_.notify_all();
+    std::unique_lock<std::mutex> lk(mu_);
+    cvDone_.wait(lk, [&] { return jobRemaining_ == 0; });
+    inParallelPhase_ = false;
+}
+
+void
+ShardedEngine::workerMain(std::uint32_t w)
+{
+    EnergyModel::bindThreadSlot(w + 1);
+    const std::uint32_t n = m_.cfg_.numCores;
+    std::uint64_t seen = 0;
+    for (;;) {
+        Job j;
+        {
+            std::unique_lock<std::mutex> lk(mu_);
+            cvWork_.wait(lk, [&] { return jobEpoch_ != seen; });
+            seen = jobEpoch_;
+            j = job_;
+        }
+        if (j != Job::Exit) {
+            for (std::uint32_t c = w; c < n; c += nWorkers_) {
+                CoreScan &cs = cores_[c];
+                if (j == Job::Scan) {
+                    if (cs.st == St::NeedsScan ||
+                        (cs.st == St::Ready && !cs.parked))
+                        scanCore(static_cast<CoreId>(c));
+                } else {
+                    commitCore(static_cast<CoreId>(c));
+                }
+            }
+        }
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            --jobRemaining_;
+        }
+        cvDone_.notify_one();
+        if (j == Job::Exit)
+            return;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scan
+// ---------------------------------------------------------------------------
+
+bool
+ShardedEngine::virtualWalk(const Tile &tl, std::uint32_t &vline,
+                           std::uint32_t &vinstr, std::uint64_t n,
+                           std::uint32_t fp) const
+{
+    if (fp == 0)
+        return true;
+    // Mirrors Multicore::advanceInstructions, without side effects: a
+    // wrap-around visits every footprint line, so at most fp lines
+    // need a residency probe.
+    const std::uint32_t instrs_per_line = m_.cfg_.lineSize / 4;
+    const std::uint64_t total = vinstr + n;
+    const std::uint64_t crossings = total / instrs_per_line;
+    const Addr code = m_.workload_->codeBase();
+    const std::uint64_t checks = std::min<std::uint64_t>(crossings, fp);
+    std::uint32_t probe = vline;
+    for (std::uint64_t k = 0; k < checks; ++k) {
+        probe = (probe + 1) % fp;
+        const Addr addr =
+            code + static_cast<Addr>(probe) * m_.cfg_.lineSize;
+        if (!tl.l1i.find(m_.addr_.lineOf(addr)))
+            return false;
+    }
+    vline = static_cast<std::uint32_t>((vline + crossings) % fp);
+    vinstr = static_cast<std::uint32_t>(total % instrs_per_line);
+    return true;
+}
+
+std::uint64_t
+ShardedEngine::scanCore(CoreId c)
+{
+    CoreScan &cs = cores_[c];
+    Tile &tl = *m_.tiles_[c];
+    if (cs.st == St::NeedsScan) {
+        if (tl.status != CoreStatus::Runnable)
+            panic("sharded scan: core %u is not runnable", c);
+        if (!cs.keys.empty())
+            panic("sharded scan: core %u carries stale annotations", c);
+        cs.vTime = tl.now;
+        cs.vIfetchLine = tl.ifetchLine;
+        cs.vInstrInLine = tl.instrInLine;
+        cs.st = St::Ready;
+        cs.parked = false;
+    }
+
+    Workload &w = *m_.workload_;
+    const std::uint32_t fp = w.iFootprintLines(c);
+    std::uint64_t examined = 0;
+    while (examined < kScanCap && cs.keys.size() < kMaxAnnotations) {
+        if (cs.keys.size() >= tl.pending.size())
+            tl.pending.push_back(w.next(c));
+        const MemOp &op = tl.pending[cs.keys.size()];
+        ++examined;
+
+        bool local = false;
+        Cycle advance = 0;
+        std::uint32_t wline = cs.vIfetchLine;
+        std::uint32_t winstr = cs.vInstrInLine;
+        switch (op.kind) {
+          case MemOp::Kind::Read:
+          case MemOp::Kind::Write: {
+            if (!virtualWalk(tl, wline, winstr, 1, fp))
+                break;
+            const auto e = tl.l1d.find(m_.addr_.lineOf(op.addr));
+            const bool writable =
+                e && (e.meta().state == L1State::Exclusive ||
+                      e.meta().state == L1State::Modified);
+            if (e && (op.kind != MemOp::Kind::Write || writable)) {
+                local = true;
+                advance = m_.cfg_.l1Latency;
+            }
+            break;
+          }
+          case MemOp::Kind::IFetch:
+            if (tl.l1i.find(m_.addr_.lineOf(op.addr))) {
+                local = true;
+                advance = m_.cfg_.l1Latency;
+            }
+            break;
+          case MemOp::Kind::Compute:
+            if (virtualWalk(tl, wline, winstr, op.count, fp)) {
+                local = true;
+                advance = op.count;
+            }
+            break;
+          default:
+            // Barrier, lock ops, and Done always reach shared state.
+            break;
+        }
+
+        if (!local) {
+            cs.parked = true;
+            cs.bound = cs.vTime;
+            return examined;
+        }
+        cs.keys.push_back(cs.vTime);
+        cs.vIfetchLine = wline;
+        cs.vInstrInLine = winstr;
+        cs.vTime += advance;
+    }
+    cs.bound = cs.vTime; // exhausted: frontier not yet classified
+    return examined;
+}
+
+// ---------------------------------------------------------------------------
+// Commit
+// ---------------------------------------------------------------------------
+
+void
+ShardedEngine::computeH()
+{
+    haveH_ = false;
+    hTime_ = 0;
+    hCore_ = 0;
+    const std::uint32_t n = m_.cfg_.numCores;
+    for (std::uint32_t c = 0; c < n; ++c) {
+        const CoreScan &cs = cores_[c];
+        // Blocked cores wake at or after the (future) global that
+        // releases them, which itself orders at or after every
+        // candidate horizon — they cannot lower H.
+        if (cs.st == St::Blocked || cs.st == St::Finished)
+            continue;
+        if (!haveH_ || keyLess(cs.bound, static_cast<CoreId>(c),
+                               hTime_, hCore_)) {
+            haveH_ = true;
+            hTime_ = cs.bound;
+            hCore_ = static_cast<CoreId>(c);
+        }
+    }
+}
+
+void
+ShardedEngine::commitOne(CoreId c, CoreScan &cs)
+{
+    Tile &tl = *m_.tiles_[c];
+    const Cycle k = cs.keys.front();
+    cs.keys.pop_front();
+    if (tl.now != k)
+        panic("sharded scan divergence: core %u local op predicted at "
+              "cycle %llu, tile clock at %llu",
+              c, static_cast<unsigned long long>(k),
+              static_cast<unsigned long long>(tl.now));
+    if (tl.pending.empty())
+        panic("sharded commit: annotated op missing from core %u", c);
+    const MemOp op = tl.pending.front();
+    tl.pending.pop_front();
+    m_.step(c, op);
+}
+
+void
+ShardedEngine::commitCore(CoreId c)
+{
+    CoreScan &cs = cores_[c];
+    if (cs.st != St::Ready)
+        return;
+    while (!cs.keys.empty() &&
+           keyLess(cs.keys.front(), c, hTime_, hCore_))
+        commitOne(c, cs);
+}
+
+// ---------------------------------------------------------------------------
+// Drain
+// ---------------------------------------------------------------------------
+
+void
+ShardedEngine::flushAnnotated(CoreId c, Cycle t, CoreId tie)
+{
+    CoreScan &cs = cores_[c];
+    flushing_ = true;
+    while (!cs.keys.empty() && keyLess(cs.keys.front(), c, t, tie))
+        commitOne(c, cs);
+    flushing_ = false;
+}
+
+void
+ShardedEngine::executeGlobal(CoreId c)
+{
+    CoreScan &cs = cores_[c];
+    Tile &tl = *m_.tiles_[c];
+    if (tl.status != CoreStatus::Runnable)
+        panic("sharded drain: scheduled core %u is not runnable", c);
+    gTime_ = cs.bound;
+    gCore_ = c;
+
+    // The core's remaining annotated locals all order before its own
+    // global (per-core FIFO): execute them now.
+    flushing_ = true;
+    while (!cs.keys.empty())
+        commitOne(c, cs);
+    flushing_ = false;
+    if (tl.now != gTime_)
+        panic("sharded scan divergence: core %u global predicted at "
+              "cycle %llu, tile clock at %llu",
+              c, static_cast<unsigned long long>(gTime_),
+              static_cast<unsigned long long>(tl.now));
+    if (tl.pending.empty())
+        panic("sharded drain: parked global missing from core %u", c);
+
+    const MemOp op = tl.pending.front();
+    tl.pending.pop_front();
+    cs.parked = false;
+    cs.st = St::NeedsScan;
+    cs.scheduled = false;
+    m_.step(c, op);
+
+    if (tl.status == CoreStatus::Finished)
+        cs.st = St::Finished;
+    else if (!cs.scheduled)
+        cs.st = St::Blocked;
+    // else: onSchedule already marked it NeedsScan with a fresh bound.
+}
+
+bool
+ShardedEngine::drain()
+{
+    const std::uint32_t n = m_.cfg_.numCores;
+    // Bound the serial work per drain so the parallel phases get to
+    // commit the accumulating annotations regularly.
+    const std::uint64_t debt_cap = 4096 + 64ull * n;
+    std::uint64_t debt = 0;
+    for (;;) {
+        // Next event candidates: the earliest parked global, and the
+        // earliest unclassified scan frontier (which could still hide
+        // an earlier global).
+        bool have_s = false, have_g = false;
+        Cycle s_t = 0, g_t = 0;
+        CoreId s_c = 0, g_c = 0;
+        for (std::uint32_t c = 0; c < n; ++c) {
+            const CoreScan &cs = cores_[c];
+            if (cs.st == St::Blocked || cs.st == St::Finished)
+                continue;
+            const auto cid = static_cast<CoreId>(c);
+            if (cs.st == St::Ready && cs.parked) {
+                if (!have_g || keyLess(cs.bound, cid, g_t, g_c)) {
+                    have_g = true;
+                    g_t = cs.bound;
+                    g_c = cid;
+                }
+            } else {
+                if (!have_s || keyLess(cs.bound, cid, s_t, s_c)) {
+                    have_s = true;
+                    s_t = cs.bound;
+                    s_c = cid;
+                }
+            }
+        }
+
+        if (have_s && (!have_g || keyLess(s_t, s_c, g_t, g_c))) {
+            debt += scanCore(s_c);
+            if (debt >= debt_cap)
+                return true;
+            continue;
+        }
+        if (!have_g)
+            return false; // quiescent: finished (or deadlocked)
+        executeGlobal(g_c);
+        debt += 16;
+        if (debt >= debt_cap)
+            return true;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Engine hooks
+// ---------------------------------------------------------------------------
+
+void
+ShardedEngine::onSchedule(CoreId c, Cycle t)
+{
+    if (fallback_) {
+        fallback_->onSchedule(c, t);
+        return;
+    }
+    if (inParallelPhase_)
+        return; // commit replays pops the scan already accounted for
+    if (c >= cores_.size())
+        return; // not running (testAccess-style direct protocol use)
+    CoreScan &cs = cores_[c];
+    cs.scheduled = true;
+    cs.parked = false;
+    cs.st = St::NeedsScan;
+    cs.bound = t;
+}
+
+void
+ShardedEngine::onCrossTileTouch(CoreId c)
+{
+    if (fallback_ || c >= cores_.size())
+        return;
+    CoreScan &cs = cores_[c];
+    // Blocked/Finished/NeedsScan cores carry no annotations; their
+    // next scan sees the post-touch tile state.
+    if (cs.st != St::Ready)
+        return;
+    // Annotated locals ordering before the in-flight global stay
+    // valid (the touch has not happened yet at their simulated time):
+    // execute them now. Everything after is stale — the ops remain in
+    // the pending queue for a fresh scan.
+    flushAnnotated(c, gTime_, gCore_);
+    cs.keys.clear();
+    cs.parked = false;
+    cs.st = St::NeedsScan;
+    cs.bound = m_.tiles_[c]->now;
+}
+
+void
+ShardedEngine::onDirectoryRequest(CoreId c)
+{
+    if (fallback_)
+        return;
+    if (inParallelPhase_)
+        panic("sharded commit divergence: core %u reached the "
+              "directory during a parallel phase", c);
+    if (flushing_)
+        panic("sharded flush divergence: core %u's annotated op "
+              "reached the directory", c);
+}
+
+} // namespace lacc

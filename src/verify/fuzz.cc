@@ -301,6 +301,12 @@ runFuzz(const FuzzOptions &opt)
                 SystemConfig cfg = fuzzConfig(opt.cores);
                 applyProtocolName(cfg, p);
                 applyNetworkName(cfg, n);
+                if (opt.simThreads != 0) {
+                    cfg.simThreads = opt.simThreads;
+                    cfg.engineKind = opt.simThreads > 1
+                                         ? EngineKind::Sharded
+                                         : EngineKind::Serial;
+                }
                 ++res.runs;
                 const auto viol =
                     checkTrace(trace, cfg, opt.stepwise, evidence);

@@ -142,6 +142,54 @@ TEST(Determinism, GoldenHashPerNetworkTopology)
     }
 }
 
+// 64-core full-machine goldens, one per topology (Limited
+// classifier, default 8-wide mesh dimensions). These pin the paper-
+// scale configuration the figures run at; the sharded execution
+// engine (system/sharded.hh) makes the suite cheap enough to keep in
+// tier 1, and each golden is checked under it too (--sim-threads 4
+// must be bit-identical to serial).
+const Golden kNetworkGoldens64[] = {
+    {ClassifierKind::Limited, "mesh", 0xd6a0b30411599c9eULL},
+    {ClassifierKind::Limited, "torus", 0x1bb3bc2cef6d5e3cULL},
+    {ClassifierKind::Limited, "ring", 0x8d1941334706d3d9ULL},
+    {ClassifierKind::Limited, "xbar", 0x4be36b36d2539cf5ULL},
+};
+
+std::uint64_t
+signature64(const char *network, std::uint32_t sim_threads)
+{
+    SystemConfig cfg; // defaults: 64 cores, 8-wide mesh
+    cfg.classifierKind = ClassifierKind::Limited;
+    applyNetworkName(cfg, network);
+    if (sim_threads > 1) {
+        cfg.engineKind = EngineKind::Sharded;
+        cfg.simThreads = sim_threads;
+    }
+    SyntheticSpec spec = mixedSpec();
+    spec.numCores = 64;
+    SyntheticWorkload wl(spec, cfg);
+    Multicore m(cfg);
+    const SystemStats &stats = m.run(wl);
+    EXPECT_EQ(m.functionalErrors(), 0u);
+    return statsSignature(stats);
+}
+
+TEST(Determinism, GoldenHash64CoresPerNetworkTopology)
+{
+    for (const auto &g : kNetworkGoldens64) {
+        const std::uint64_t serial = signature64(g.name, 1);
+        EXPECT_EQ(serial, g.signature)
+            << "64-core " << g.name
+            << " stats signature drifted; actual 0x" << std::hex
+            << serial
+            << " — update the golden only if the change is"
+               " intentional";
+        EXPECT_EQ(signature64(g.name, 4), serial)
+            << "64-core " << g.name
+            << ": sharded engine diverges from serial";
+    }
+}
+
 TEST(Determinism, TopologiesProduceDistinctTraffic)
 {
     // The fabrics must actually differ: identical digests would mean
