@@ -15,7 +15,9 @@
 #include "protocol/core_vec.hh"
 #include "protocol/sharer_list.hh"
 #include "energy/model.hh"
+#include "net/factory.hh"
 #include "net/mesh.hh"
+#include "sim/profiler.hh"
 #include "system/multicore.hh"
 #include "workload/suite.hh"
 
@@ -164,6 +166,123 @@ BM_MeshBroadcast(benchmark::State &state)
     }
 }
 BENCHMARK(BM_MeshBroadcast);
+
+// ---------------------------------------------------------------------------
+// Table-driven network hot paths, per topology (arg 0/1 = contention
+// off/on), plus the hop-by-hop reference walkers for comparison: the
+// table path must beat its reference twin on every topology.
+// ---------------------------------------------------------------------------
+
+void
+BM_NetUnicast(benchmark::State &state, const char *topology)
+{
+    auto cfg = microCfg();
+    cfg.modelContention = state.range(0) != 0;
+    applyNetworkName(cfg, topology);
+    EnergyModel e;
+    const auto net = makeNetwork(cfg, e);
+    Cycle t = 0;
+    CoreId dst = 1;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(net->unicast(0, dst, 9, t));
+        dst = static_cast<CoreId>((dst + 7) % 64);
+        t += 3;
+    }
+}
+BENCHMARK_CAPTURE(BM_NetUnicast, mesh, "mesh")->Arg(0)->Arg(1);
+BENCHMARK_CAPTURE(BM_NetUnicast, torus, "torus")->Arg(0)->Arg(1);
+BENCHMARK_CAPTURE(BM_NetUnicast, ring, "ring")->Arg(0)->Arg(1);
+BENCHMARK_CAPTURE(BM_NetUnicast, xbar, "xbar")->Arg(0)->Arg(1);
+
+void
+BM_NetBroadcast(benchmark::State &state, const char *topology)
+{
+    auto cfg = microCfg();
+    cfg.modelContention = state.range(0) != 0;
+    applyNetworkName(cfg, topology);
+    EnergyModel e;
+    const auto net = makeNetwork(cfg, e);
+    std::vector<Cycle> arrivals;
+    Cycle t = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(net->broadcast(27, 1, t, arrivals));
+        t += 10;
+    }
+}
+BENCHMARK_CAPTURE(BM_NetBroadcast, mesh, "mesh")->Arg(0)->Arg(1);
+BENCHMARK_CAPTURE(BM_NetBroadcast, torus, "torus")->Arg(0)->Arg(1);
+BENCHMARK_CAPTURE(BM_NetBroadcast, ring, "ring")->Arg(0)->Arg(1);
+BENCHMARK_CAPTURE(BM_NetBroadcast, xbar, "xbar")->Arg(0)->Arg(1);
+
+void
+BM_NetReferenceUnicast(benchmark::State &state, const char *topology)
+{
+    auto cfg = microCfg();
+    cfg.modelContention = state.range(0) != 0;
+    applyNetworkName(cfg, topology);
+    EnergyModel e;
+    const auto net = makeNetwork(cfg, e);
+    Cycle t = 0;
+    CoreId dst = 1;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(net->referenceUnicast(0, dst, 9, t));
+        dst = static_cast<CoreId>((dst + 7) % 64);
+        t += 3;
+    }
+}
+BENCHMARK_CAPTURE(BM_NetReferenceUnicast, mesh, "mesh")->Arg(0)->Arg(1);
+BENCHMARK_CAPTURE(BM_NetReferenceUnicast, torus, "torus")->Arg(0)->Arg(1);
+BENCHMARK_CAPTURE(BM_NetReferenceUnicast, ring, "ring")->Arg(0)->Arg(1);
+BENCHMARK_CAPTURE(BM_NetReferenceUnicast, xbar, "xbar")->Arg(0)->Arg(1);
+
+void
+BM_NetReferenceBroadcast(benchmark::State &state, const char *topology)
+{
+    auto cfg = microCfg();
+    cfg.modelContention = state.range(0) != 0;
+    applyNetworkName(cfg, topology);
+    EnergyModel e;
+    const auto net = makeNetwork(cfg, e);
+    std::vector<Cycle> arrivals;
+    Cycle t = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            net->referenceBroadcast(27, 1, t, arrivals));
+        t += 10;
+    }
+}
+BENCHMARK_CAPTURE(BM_NetReferenceBroadcast, mesh, "mesh")->Arg(0)->Arg(1);
+BENCHMARK_CAPTURE(BM_NetReferenceBroadcast, torus, "torus")->Arg(0)->Arg(1);
+BENCHMARK_CAPTURE(BM_NetReferenceBroadcast, ring, "ring")->Arg(0)->Arg(1);
+BENCHMARK_CAPTURE(BM_NetReferenceBroadcast, xbar, "xbar")->Arg(0)->Arg(1);
+
+void
+BM_ProfilerScopeDisabled(benchmark::State &state)
+{
+    // Guard for the profiler's <=2%-when-disabled budget: a disabled
+    // Scope must cost one relaxed load and a branch.
+    prof::setEnabled(false);
+    for (auto _ : state) {
+        prof::Scope s(prof::Network);
+        benchmark::DoNotOptimize(&s);
+    }
+}
+BENCHMARK(BM_ProfilerScopeDisabled);
+
+void
+BM_ProfilerScopeEnabled(benchmark::State &state)
+{
+    // Enabled cost (two clock reads + thread-local slice accounting);
+    // informational — only disabled overhead is budgeted.
+    prof::reset();
+    prof::setEnabled(true);
+    for (auto _ : state) {
+        prof::Scope s(prof::Network);
+        benchmark::DoNotOptimize(&s);
+    }
+    prof::setEnabled(false);
+}
+BENCHMARK(BM_ProfilerScopeEnabled);
 
 void
 BM_AckwiseAddRemove(benchmark::State &state)

@@ -10,7 +10,8 @@
  *              --list-engines
  *   lacc_bench [--filter SUBSTR] [--jobs N] [--sim-threads N]
  *              [--scale X] [--repeat N] [--protocol NAME]
- *              [--network NAME] [--json-dir DIR] [--quiet]
+ *              [--network NAME] [--json-dir DIR] [--profile]
+ *              [--quiet]
  */
 
 #include <cstdio>
@@ -68,6 +69,11 @@ usage(std::FILE *to)
         "  --network NAME    force every run onto a named interconnect\n"
         "                    topology (see --list-networks)\n"
         "  --json-dir DIR    write BENCH_<experiment>.json into DIR\n"
+        "  --profile         record per-subsystem exclusive cycle\n"
+        "                    shares (workload/cache/protocol/network/\n"
+        "                    dram) per experiment; adds a table to the\n"
+        "                    text output and a \"profile\" object to\n"
+        "                    the JSON\n"
         "  --quiet           suppress per-run progress on stderr\n"
         "  --help            this message\n");
 }
@@ -166,6 +172,8 @@ main(int argc, char **argv)
             opts.overrides.network = value("--network");
         } else if (arg == "--json-dir") {
             jsonDir = value("--json-dir");
+        } else if (arg == "--profile") {
+            opts.profile = true;
         } else if (arg == "--quiet") {
             opts.progress = false;
         } else {

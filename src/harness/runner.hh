@@ -62,6 +62,12 @@ struct SweepOptions
     /** Emit a "[bench] <label>" line to stderr as each job starts. */
     bool progress = true;
     /**
+     * Record per-subsystem exclusive cycle shares (sim/profiler.hh)
+     * over each experiment's sweep and surface them in the text
+     * output and bench JSON (maps onto `lacc_bench --profile`).
+     */
+    bool profile = false;
+    /**
      * CLI config overrides applied to every job before it runs:
      * protocol/network force a named variant (maps onto `lacc_bench
      * --protocol/--network`), simThreads selects the execution engine

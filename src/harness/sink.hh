@@ -38,6 +38,7 @@
 
 #include "harness/registry.hh"
 #include "harness/runner.hh"
+#include "sim/profiler.hh"
 
 namespace lacc::harness {
 
@@ -50,6 +51,8 @@ struct ExperimentOutcome
     double opScale = 1.0;
     unsigned repeat = 1;      //!< repeats per job (throughput mode)
     double wallSeconds = 0.0; //!< whole sweep incl. report
+    bool profiled = false;    //!< profile holds a --profile snapshot
+    prof::Snapshot profile;   //!< per-subsystem exclusive times
 };
 
 /** Assemble the full BENCH_<name>.json document for @p outcome. */

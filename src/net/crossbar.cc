@@ -10,11 +10,38 @@ CrossbarNetwork::CrossbarNetwork(const SystemConfig &cfg,
     // ports are the only shared resource (the switch itself is
     // non-blocking).
     : NetworkModel(cfg, energy, cfg.numCores)
-{}
+{
+    finalizeTables();
+}
+
+void
+CrossbarNetwork::buildRoute(CoreId /*src*/, CoreId dst,
+                            std::vector<std::uint32_t> &out) const
+{
+    // One switch traversal; the destination output port is the
+    // contended link.
+    out.push_back(dst);
+}
+
+void
+CrossbarNetwork::buildBroadcastSchedule(CoreId src,
+                                        std::vector<TreeHop> &out) const
+{
+    // Serialized unicast per destination in CoreId order: every hop
+    // hangs off the source, the i-th delayed by i*flits injection
+    // cycles.
+    std::uint32_t i = 0;
+    for (std::uint32_t dst = 0; dst < numCores_; ++dst) {
+        if (dst == src)
+            continue;
+        out.push_back({dst, src, static_cast<CoreId>(dst), i});
+        ++i;
+    }
+}
 
 Cycle
-CrossbarNetwork::unicast(CoreId src, CoreId dst, std::uint32_t flits,
-                         Cycle depart)
+CrossbarNetwork::referenceUnicast(CoreId src, CoreId dst,
+                                  std::uint32_t flits, Cycle depart)
 {
     ++stats_.unicasts;
     stats_.flitsInjected += flits;
@@ -32,8 +59,9 @@ CrossbarNetwork::unicast(CoreId src, CoreId dst, std::uint32_t flits,
 }
 
 Cycle
-CrossbarNetwork::broadcast(CoreId src, std::uint32_t flits,
-                           Cycle depart, std::vector<Cycle> &arrivals)
+CrossbarNetwork::referenceBroadcast(CoreId src, std::uint32_t flits,
+                                    Cycle depart,
+                                    std::vector<Cycle> &arrivals)
 {
     ++stats_.broadcasts;
     arrivals.assign(numCores_, 0);
@@ -47,7 +75,7 @@ CrossbarNetwork::broadcast(CoreId src, std::uint32_t flits,
         if (dst == src)
             continue;
         const Cycle inject = depart + i * flits;
-        arrivals[dst] = unicast(src, dst, flits, inject);
+        arrivals[dst] = referenceUnicast(src, dst, flits, inject);
         max_arrival = std::max(max_arrival, arrivals[dst]);
         ++i;
     }

@@ -9,7 +9,9 @@
  * serialized at the source injection port (one flit per cycle). This
  * makes ACKwise_p pointer overflow genuinely expensive — (N-1) x
  * flits injected instead of one message — which is exactly the
- * topology-sensitivity question the network experiment measures.
+ * topology-sensitivity question the network experiment measures. In
+ * schedule form (net/network.hh) every hop hangs off the source with
+ * delayFactor i, reproducing the i*flits injection serialization.
  */
 
 #ifndef LACC_NET_CROSSBAR_HH
@@ -27,27 +29,30 @@ class CrossbarNetwork : public NetworkModel
 
     const char *name() const override { return "xbar"; }
 
-    /** One switch traversal between any two distinct tiles. */
-    std::uint32_t hopCount(CoreId src, CoreId dst) const override
-    {
-        return src == dst ? 0 : 1;
-    }
+    bool hasNativeBroadcast() const override { return false; }
 
-    Cycle unicast(CoreId src, CoreId dst, std::uint32_t flits,
-                  Cycle depart) override;
+    Cycle referenceUnicast(CoreId src, CoreId dst, std::uint32_t flits,
+                           Cycle depart) override;
 
     /**
      * Emulated broadcast: unicasts to every other tile in CoreId
      * order, injected back-to-back at the source (the i-th copy
-     * departs i*flits cycles after @p depart). Counts one broadcast
+     * departs i*flits cycles after depart). Counts one broadcast
      * plus N-1 unicasts in the stats, and injects (N-1)*flits.
      */
-    Cycle broadcast(CoreId src, std::uint32_t flits, Cycle depart,
-                    std::vector<Cycle> &arrivals) override;
-
-    bool hasNativeBroadcast() const override { return false; }
+    Cycle referenceBroadcast(CoreId src, std::uint32_t flits,
+                             Cycle depart,
+                             std::vector<Cycle> &arrivals) override;
 
     std::string describeLink(std::uint32_t link) const override;
+
+  protected:
+    void buildRoute(CoreId src, CoreId dst,
+                    std::vector<std::uint32_t> &out) const override;
+
+    void buildBroadcastSchedule(CoreId src,
+                                std::vector<TreeHop> &out)
+        const override;
 };
 
 } // namespace lacc

@@ -9,16 +9,8 @@ namespace lacc {
 MeshNetwork::MeshNetwork(const SystemConfig &cfg, EnergyModel &energy)
     : NetworkModel(cfg, energy, cfg.numCores * 4),
       width_(cfg.meshWidth), height_(cfg.meshHeight())
-{}
-
-std::uint32_t
-MeshNetwork::hopCount(CoreId src, CoreId dst) const
 {
-    const auto dx = xOf(src) > xOf(dst) ? xOf(src) - xOf(dst)
-                                        : xOf(dst) - xOf(src);
-    const auto dy = yOf(src) > yOf(dst) ? yOf(src) - yOf(dst)
-                                        : yOf(dst) - yOf(src);
-    return dx + dy;
+    finalizeTables();
 }
 
 CoreId
@@ -45,9 +37,58 @@ MeshNetwork::nextHop(CoreId at, CoreId dst, Dir &dir_out) const
     panic("nextHop called with at == dst");
 }
 
+void
+MeshNetwork::buildRoute(CoreId src, CoreId dst,
+                        std::vector<std::uint32_t> &out) const
+{
+    // XY dimension order, exactly the walk nextHop takes.
+    CoreId at = src;
+    while (at != dst) {
+        Dir d;
+        const CoreId nxt = nextHop(at, dst, d);
+        out.push_back(linkId(at, d));
+        at = nxt;
+    }
+}
+
+void
+MeshNetwork::buildBroadcastSchedule(CoreId src,
+                                    std::vector<TreeHop> &out) const
+{
+    // X-then-Y tree in the reference walker's traversal order: expand
+    // east then west along the source row, then every column (x
+    // ascending) south then north.
+    const auto sx = xOf(src);
+    const auto sy = yOf(src);
+    const auto at = [this](std::uint32_t x, std::uint32_t y) {
+        return static_cast<CoreId>(y * width_ + x);
+    };
+
+    for (std::uint32_t x = sx + 1; x < width_; ++x)
+        out.push_back({linkId(at(x - 1, sy), East), at(x - 1, sy),
+                       at(x, sy), 0});
+    for (std::int64_t x = static_cast<std::int64_t>(sx) - 1; x >= 0;
+         --x) {
+        const auto ux = static_cast<std::uint32_t>(x);
+        out.push_back({linkId(at(ux + 1, sy), West), at(ux + 1, sy),
+                       at(ux, sy), 0});
+    }
+    for (std::uint32_t x = 0; x < width_; ++x) {
+        for (std::uint32_t y = sy + 1; y < height_; ++y)
+            out.push_back({linkId(at(x, y - 1), South), at(x, y - 1),
+                           at(x, y), 0});
+        for (std::int64_t y = static_cast<std::int64_t>(sy) - 1; y >= 0;
+             --y) {
+            const auto uy = static_cast<std::uint32_t>(y);
+            out.push_back({linkId(at(x, uy + 1), North), at(x, uy + 1),
+                           at(x, uy), 0});
+        }
+    }
+}
+
 Cycle
-MeshNetwork::unicast(CoreId src, CoreId dst, std::uint32_t flits,
-                     Cycle depart)
+MeshNetwork::referenceUnicast(CoreId src, CoreId dst,
+                              std::uint32_t flits, Cycle depart)
 {
     ++stats_.unicasts;
     stats_.flitsInjected += flits;
@@ -72,8 +113,9 @@ MeshNetwork::unicast(CoreId src, CoreId dst, std::uint32_t flits,
 }
 
 Cycle
-MeshNetwork::broadcast(CoreId src, std::uint32_t flits, Cycle depart,
-                       std::vector<Cycle> &arrivals)
+MeshNetwork::referenceBroadcast(CoreId src, std::uint32_t flits,
+                                Cycle depart,
+                                std::vector<Cycle> &arrivals)
 {
     ++stats_.broadcasts;
     stats_.flitsInjected += flits;

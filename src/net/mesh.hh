@@ -3,7 +3,7 @@
  * Electrical 2-D mesh interconnect with XY routing and broadcast
  * support (Table 1, §3.1) — the paper's fabric, and the default
  * NetworkModel (net/network.hh holds the shared timing/contention
- * model).
+ * model and the table-driven hot path).
  *
  * Broadcast: each router selectively replicates a broadcast message on
  * its output links so all cores are reached with a single injection
@@ -36,19 +36,28 @@ class MeshNetwork : public NetworkModel
     /** Mesh Y coordinate (row) of a tile. */
     std::uint32_t yOf(CoreId tile) const { return tile / width_; }
 
-    /** Manhattan hop distance between two tiles. */
-    std::uint32_t hopCount(CoreId src, CoreId dst) const override;
-
-    Cycle unicast(CoreId src, CoreId dst, std::uint32_t flits,
-                  Cycle depart) override;
-
-    Cycle broadcast(CoreId src, std::uint32_t flits, Cycle depart,
-                    std::vector<Cycle> &arrivals) override;
-
     /** Router replication delivers a broadcast in one injection. */
     bool hasNativeBroadcast() const override { return true; }
 
+    /** The X-then-Y tree re-delivers to the source with the tail. */
+    bool selfArrivalAtTail() const override { return true; }
+
+    Cycle referenceUnicast(CoreId src, CoreId dst, std::uint32_t flits,
+                           Cycle depart) override;
+
+    Cycle referenceBroadcast(CoreId src, std::uint32_t flits,
+                             Cycle depart,
+                             std::vector<Cycle> &arrivals) override;
+
     std::string describeLink(std::uint32_t link) const override;
+
+  protected:
+    void buildRoute(CoreId src, CoreId dst,
+                    std::vector<std::uint32_t> &out) const override;
+
+    void buildBroadcastSchedule(CoreId src,
+                                std::vector<TreeHop> &out)
+        const override;
 
   private:
     /** Directed link ids: 4 per node (E, W, S, N). */

@@ -30,6 +30,21 @@
  *    clocks: a message from a slightly lagging core sees the same
  *    backlog instead of paying the whole clock skew as phantom
  *    queueing.
+ *
+ * The hot path is table-driven (docs/ARCHITECTURE.md "Route tables &
+ * broadcast schedules"): at construction every topology enumerates
+ * its routes once into a flat RouteTable — for each (src, dst) pair a
+ * contiguous span of directed link ids plus the hop count — and one
+ * BroadcastTree schedule per source: a topologically-ordered list of
+ * (link, parent, child) hops whose head-flit times chain through a
+ * reusable scratch array. unicast()/broadcast()/hopCount() are
+ * therefore non-virtual base-class loops with no per-hop coordinate
+ * math, no per-call allocation, and per-message (not per-hop)
+ * stats/energy accumulation; with modelContention off, arrival times
+ * come straight from the precomputed hop counts. The original
+ * hop-by-hop walkers survive as the virtual reference*() debug path,
+ * and tests/test_net.cc pins the two paths to identical timing and
+ * link-flit accounting on every topology.
  */
 
 #ifndef LACC_NET_NETWORK_HH
@@ -49,15 +64,34 @@ namespace lacc {
 
 /**
  * Abstract interconnect shared by all tiles of a Multicore. Concrete
- * topologies implement routing (hopCount), unicast timing, and
- * broadcast delivery; the base class owns the directed-link
- * contention state, traffic statistics, energy charging, and the
- * congestion diagnostics, so every topology accounts traffic the same
- * way.
+ * topologies enumerate their routing (buildRoute) and broadcast trees
+ * (buildBroadcastSchedule) once at construction; the base class owns
+ * the precomputed tables, the directed-link contention state, traffic
+ * statistics, energy charging, and the congestion diagnostics, so
+ * every topology accounts traffic the same way and pays the same
+ * (table-driven) per-message cost.
  */
 class NetworkModel
 {
   public:
+    /**
+     * One hop of a broadcast-tree schedule: the head flit leaves
+     * @p parent (plus delayFactor * flits injection-serialization
+     * cycles, used by emulated broadcasts) and crosses directed link
+     * @p link to @p child. Schedules are topologically ordered: a
+     * hop's parent head time is always computed by an earlier entry
+     * (or is the source's departure time).
+     */
+    struct TreeHop
+    {
+        std::uint32_t link = 0;
+        CoreId parent = 0;
+        CoreId child = 0;
+        /** Injection serialization: head departs parent_head +
+         *  delayFactor * flits (0 for native broadcast trees). */
+        std::uint32_t delayFactor = 0;
+    };
+
     /**
      * @param cfg       system configuration (geometry, flit widths,
      *                  hop latency, contention flag)
@@ -75,35 +109,42 @@ class NetworkModel
     /**
      * Routing distance between two tiles in links traversed
      * (0 for src == dst). Drives Message::hops and idealLatency().
+     * Table lookup — no virtual dispatch, no coordinate math.
      */
-    virtual std::uint32_t hopCount(CoreId src, CoreId dst) const = 0;
+    std::uint32_t hopCount(CoreId src, CoreId dst) const
+    {
+        return routes_[routeIndex(src, dst)].hops;
+    }
 
     /**
      * Send a unicast message and return its arrival time (time the
      * last flit is ejected at @p dst). Accounts link contention and
-     * router/link energy.
+     * router/link energy. Table-driven: walks the precomputed link
+     * span; with modelContention off the arrival is computed
+     * analytically from the hop count.
      *
      * @param src    source tile
      * @param dst    destination tile
      * @param flits  total message length including header
      * @param depart injection time at the source
      */
-    virtual Cycle unicast(CoreId src, CoreId dst, std::uint32_t flits,
-                          Cycle depart) = 0;
+    Cycle unicast(CoreId src, CoreId dst, std::uint32_t flits,
+                  Cycle depart);
 
     /**
      * Broadcast from @p src to all tiles. Arrival times (last flit)
      * per tile are written to @p arrivals (indexed by CoreId; the
-     * source receives its copy at depart). Topologies with native
+     * source receives its copy at depart, or with the tail flit when
+     * selfArrivalAtTail()). Topologies with native
      * broadcast (hasNativeBroadcast()) deliver with a single
      * injection along a spanning tree; others emulate it (e.g. the
-     * crossbar serializes one unicast per destination).
+     * crossbar serializes one unicast per destination). Table-driven:
+     * one pass over the per-source BroadcastTree schedule.
      *
      * @return the maximum arrival time over all tiles.
      */
-    virtual Cycle broadcast(CoreId src, std::uint32_t flits,
-                            Cycle depart,
-                            std::vector<Cycle> &arrivals) = 0;
+    Cycle broadcast(CoreId src, std::uint32_t flits, Cycle depart,
+                    std::vector<Cycle> &arrivals);
 
     /**
      * Whether one injection reaches every tile (router replication,
@@ -111,6 +152,32 @@ class NetworkModel
      * per destination — ACKwise overflow actually hurts.
      */
     virtual bool hasNativeBroadcast() const = 0;
+
+    /**
+     * Whether the source's own broadcast copy arrives with the tail
+     * flit (depart + flits - 1) instead of at depart. The X-then-Y
+     * trees (mesh/torus) re-deliver through the source router after
+     * serializing the payload; the ring arcs and crossbar ports hand
+     * the source its copy at injection time.
+     */
+    virtual bool selfArrivalAtTail() const { return false; }
+
+    /**
+     * Debug reference path: the original hop-by-hop unicast walker
+     * (per-hop coordinate math / virtual dispatch). Mutates the same
+     * contention/stats state as unicast(); tests drive a second,
+     * identically-configured instance through this path and assert
+     * bit-identical timing and accounting against the table-driven
+     * one. Not used on the simulation hot path.
+     */
+    virtual Cycle referenceUnicast(CoreId src, CoreId dst,
+                                   std::uint32_t flits,
+                                   Cycle depart) = 0;
+
+    /** Debug reference path for broadcast(); see referenceUnicast. */
+    virtual Cycle referenceBroadcast(CoreId src, std::uint32_t flits,
+                                     Cycle depart,
+                                     std::vector<Cycle> &arrivals) = 0;
 
     /**
      * Contention-free latency of a unicast (test/analysis helper):
@@ -125,13 +192,17 @@ class NetworkModel
     /** Traffic counters for this network. */
     const NetworkStats &stats() const { return stats_; }
 
-    /** Reset traffic counters and link state. */
+    /** Reset traffic counters and link state (tables persist). */
     void reset();
 
     /** Reset traffic counters only (links stay occupied). */
     void resetStats() { stats_ = NetworkStats{}; }
 
-    /** Diagnostic: (link id, queueing cycles) of the worst links. */
+    /**
+     * Diagnostic: (link id, queueing cycles) of the worst links,
+     * ordered by (queueing desc, link id asc) — a deterministic total
+     * order, so equal-queueing links never reorder across runs.
+     */
     std::vector<std::pair<std::uint32_t, std::uint64_t>>
     topCongestedLinks(std::size_t n) const;
 
@@ -144,17 +215,89 @@ class NetworkModel
         return linkFlits_[link];
     }
 
+    /**
+     * Bytes held by the precomputed route table and broadcast
+     * schedules (docs/ARCHITECTURE.md discusses the footprint scaling
+     * per topology; tests sanity-check it).
+     */
+    std::size_t tableFootprintBytes() const;
+
   protected:
     /**
      * Route one message across a single directed link, applying the
      * windowed-backlog contention model (see the file header).
+     * Header-inline so the table-driven span loop compiles to a tight
+     * non-calling loop.
      *
      * @param link  directed link id in [0, num_links)
      * @param t     head-flit time at the link's input
      * @param flits message length
      * @return head-flit time at the link's output
      */
-    Cycle traverseLink(std::uint32_t link, Cycle t, std::uint32_t flits);
+    Cycle
+    traverseLink(std::uint32_t link, Cycle t, std::uint32_t flits)
+    {
+        // Router stage, then link stage. The head flit wants the link
+        // at t + 1; with link-only contention it may have to queue
+        // behind the link's undrained backlog (see the file header).
+        Cycle head_at_link = t + 1;
+        if (modelContention_) {
+            LinkState &ls = links_[link];
+            const Cycle w = head_at_link / kWindow;
+            if (w > ls.windowId) {
+                // The link drains one flit per cycle between windows.
+                const std::uint64_t drained =
+                    (w - ls.windowId) * kWindow;
+                ls.backlog = ls.backlog > drained
+                                 ? ls.backlog - drained
+                                 : 0;
+                ls.windowId = w;
+            }
+            // Work queued ahead minus what drained since window
+            // start; messages from slightly lagging clocks
+            // (w < windowId) see the current backlog without paying
+            // the skew itself.
+            const Cycle elapsed =
+                w >= ls.windowId ? head_at_link % kWindow : 0;
+            if (ls.backlog > elapsed) {
+                const Cycle wait = ls.backlog - elapsed;
+                stats_.contentionCycles += wait;
+                linkQueueing_[link] += wait;
+                head_at_link += wait;
+            }
+            ls.backlog += flits;
+        }
+        linkFlits_[link] += flits;
+        return head_at_link + (hopLatency_ - 1);
+    }
+
+    /**
+     * Topology hook (construction time only): append the directed
+     * link ids of the src -> dst route, in traversal order. Never
+     * called with src == dst.
+     */
+    virtual void buildRoute(CoreId src, CoreId dst,
+                            std::vector<std::uint32_t> &out) const = 0;
+
+    /**
+     * Topology hook (construction time only): append the broadcast
+     * schedule rooted at @p src, in the exact traversal order of the
+     * reference walker (contention-state updates are order-sensitive,
+     * and the equivalence tests hold the two paths bit-identical).
+     * Every non-source tile must appear exactly once as a child, and
+     * every parent must be the source or an earlier child.
+     */
+    virtual void
+    buildBroadcastSchedule(CoreId src,
+                           std::vector<TreeHop> &out) const = 0;
+
+    /**
+     * Build the route table and broadcast schedules from the topology
+     * hooks, validate them, and derive the per-broadcast batched
+     * stat/energy factors. MUST be called at the end of every
+     * concrete topology's constructor (the hooks are virtual).
+     */
+    void finalizeTables();
 
     std::uint32_t numCores_;
     std::uint32_t hopLatency_;
@@ -164,6 +307,35 @@ class NetworkModel
     NetworkStats stats_;
 
   private:
+    /** One (src, dst) route: a span of linkSeq_ plus its length. */
+    struct Route
+    {
+        std::uint32_t offset = 0;
+        std::uint32_t hops = 0;
+    };
+
+    /**
+     * Batched per-broadcast accounting, derived from the schedule
+     * size and hasNativeBroadcast(): one native injection occupies
+     * schedule-size tree links and every router once; an emulated
+     * broadcast is schedule-size serialized unicasts.
+     */
+    struct BroadcastMeta
+    {
+        std::uint64_t flitHopFactor = 0;     //!< x flits -> flitHops
+        std::uint64_t linkEnergyFactor = 0;  //!< x flits -> link energy
+        std::uint64_t routerEnergyFactor = 0;//!< x flits -> router energy
+        std::uint64_t injectedFactor = 0;    //!< x flits -> flitsInjected
+        std::uint64_t extraUnicasts = 0;     //!< unicast count (emulated)
+        bool srcHearsTail = false;           //!< selfArrivalAtTail()
+    };
+
+    std::size_t
+    routeIndex(CoreId src, CoreId dst) const
+    {
+        return static_cast<std::size_t>(src) * numCores_ + dst;
+    }
+
     /** Windowed backlog state of one directed link. */
     struct LinkState
     {
@@ -177,6 +349,14 @@ class NetworkModel
     std::vector<LinkState> links_;
     std::vector<std::uint64_t> linkQueueing_; //!< per-link diagnostics
     std::vector<std::uint64_t> linkFlits_;    //!< per-link load
+
+    // ---- Precomputed tables (finalizeTables) --------------------------
+    std::vector<Route> routes_;            //!< numCores^2, src-major
+    std::vector<std::uint32_t> linkSeq_;   //!< concatenated route spans
+    std::vector<std::uint32_t> treeOffsets_; //!< per-source, size N+1
+    std::vector<TreeHop> treeHops_;        //!< concatenated schedules
+    BroadcastMeta bmeta_;
+    std::vector<Cycle> headScratch_;       //!< per-node head-flit times
 };
 
 } // namespace lacc

@@ -6,18 +6,51 @@ namespace lacc {
 
 RingNetwork::RingNetwork(const SystemConfig &cfg, EnergyModel &energy)
     : NetworkModel(cfg, energy, cfg.numCores * 2)
-{}
-
-std::uint32_t
-RingNetwork::hopCount(CoreId src, CoreId dst) const
 {
+    finalizeTables();
+}
+
+void
+RingNetwork::buildRoute(CoreId src, CoreId dst,
+                        std::vector<std::uint32_t> &out) const
+{
+    // Shorter arc; ties go clockwise — the reference walker's order.
     const std::uint32_t cw = cwDist(src, dst);
-    return std::min(cw, numCores_ - cw);
+    const bool clockwise = cw <= numCores_ - cw;
+    CoreId at = src;
+    while (at != dst) {
+        out.push_back(linkId(at, clockwise ? Clockwise : CounterCw));
+        at = static_cast<CoreId>(clockwise
+                                     ? (at + 1) % numCores_
+                                     : (at + numCores_ - 1) % numCores_);
+    }
+}
+
+void
+RingNetwork::buildBroadcastSchedule(CoreId src,
+                                    std::vector<TreeHop> &out) const
+{
+    // Two arcs in the reference walker's order: clockwise covers N/2
+    // nodes, counter-clockwise the rest.
+    const std::uint32_t cw_cnt = numCores_ / 2;
+    CoreId at = src;
+    for (std::uint32_t i = 0; i < cw_cnt; ++i) {
+        const CoreId nxt = static_cast<CoreId>((at + 1) % numCores_);
+        out.push_back({linkId(at, Clockwise), at, nxt, 0});
+        at = nxt;
+    }
+    at = src;
+    for (std::uint32_t i = 0; i + 1 + cw_cnt < numCores_; ++i) {
+        const CoreId nxt =
+            static_cast<CoreId>((at + numCores_ - 1) % numCores_);
+        out.push_back({linkId(at, CounterCw), at, nxt, 0});
+        at = nxt;
+    }
 }
 
 Cycle
-RingNetwork::unicast(CoreId src, CoreId dst, std::uint32_t flits,
-                     Cycle depart)
+RingNetwork::referenceUnicast(CoreId src, CoreId dst,
+                              std::uint32_t flits, Cycle depart)
 {
     ++stats_.unicasts;
     stats_.flitsInjected += flits;
@@ -47,8 +80,9 @@ RingNetwork::unicast(CoreId src, CoreId dst, std::uint32_t flits,
 }
 
 Cycle
-RingNetwork::broadcast(CoreId src, std::uint32_t flits, Cycle depart,
-                       std::vector<Cycle> &arrivals)
+RingNetwork::referenceBroadcast(CoreId src, std::uint32_t flits,
+                                Cycle depart,
+                                std::vector<Cycle> &arrivals)
 {
     ++stats_.broadcasts;
     stats_.flitsInjected += flits;

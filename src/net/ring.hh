@@ -23,18 +23,24 @@ class RingNetwork : public NetworkModel
 
     const char *name() const override { return "ring"; }
 
-    /** Shorter-arc distance between two tiles. */
-    std::uint32_t hopCount(CoreId src, CoreId dst) const override;
-
-    Cycle unicast(CoreId src, CoreId dst, std::uint32_t flits,
-                  Cycle depart) override;
-
-    Cycle broadcast(CoreId src, std::uint32_t flits, Cycle depart,
-                    std::vector<Cycle> &arrivals) override;
-
     bool hasNativeBroadcast() const override { return true; }
 
+    Cycle referenceUnicast(CoreId src, CoreId dst, std::uint32_t flits,
+                           Cycle depart) override;
+
+    Cycle referenceBroadcast(CoreId src, std::uint32_t flits,
+                             Cycle depart,
+                             std::vector<Cycle> &arrivals) override;
+
     std::string describeLink(std::uint32_t link) const override;
+
+  protected:
+    void buildRoute(CoreId src, CoreId dst,
+                    std::vector<std::uint32_t> &out) const override;
+
+    void buildBroadcastSchedule(CoreId src,
+                                std::vector<TreeHop> &out)
+        const override;
 
   private:
     /** Directed link ids: 2 per node (CW = +1, CCW = -1). */

@@ -29,18 +29,27 @@ class TorusNetwork : public NetworkModel
     /** Torus Y coordinate (row) of a tile. */
     std::uint32_t yOf(CoreId tile) const { return tile / width_; }
 
-    /** Wraparound Manhattan distance between two tiles. */
-    std::uint32_t hopCount(CoreId src, CoreId dst) const override;
-
-    Cycle unicast(CoreId src, CoreId dst, std::uint32_t flits,
-                  Cycle depart) override;
-
-    Cycle broadcast(CoreId src, std::uint32_t flits, Cycle depart,
-                    std::vector<Cycle> &arrivals) override;
-
     bool hasNativeBroadcast() const override { return true; }
 
+    /** The X-then-Y ring tree re-delivers to the source with the tail. */
+    bool selfArrivalAtTail() const override { return true; }
+
+    Cycle referenceUnicast(CoreId src, CoreId dst, std::uint32_t flits,
+                           Cycle depart) override;
+
+    Cycle referenceBroadcast(CoreId src, std::uint32_t flits,
+                             Cycle depart,
+                             std::vector<Cycle> &arrivals) override;
+
     std::string describeLink(std::uint32_t link) const override;
+
+  protected:
+    void buildRoute(CoreId src, CoreId dst,
+                    std::vector<std::uint32_t> &out) const override;
+
+    void buildBroadcastSchedule(CoreId src,
+                                std::vector<TreeHop> &out)
+        const override;
 
   private:
     /** Directed link ids: 4 per node (E, W, S, N), wrapping. */

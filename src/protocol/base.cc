@@ -9,6 +9,7 @@
 #include "sim/config.hh"
 #include "sim/functional.hh"
 #include "sim/log.hh"
+#include "sim/profiler.hh"
 #include "sim/stats.hh"
 #include "system/tile.hh"
 
@@ -22,6 +23,7 @@ void
 BaseL1Controller::access(CoreId c, Addr addr, bool is_write,
                          bool is_ifetch, bool charge_fetch_energy)
 {
+    prof::Scope prof_scope(prof::Protocol);
     Tile &tl = *ctx_.tiles[c];
     L1Cache &l1 = is_ifetch ? tl.l1i : tl.l1d;
     CacheStats &cs = is_ifetch ? tl.stats.l1i : tl.stats.l1d;
@@ -39,7 +41,10 @@ BaseL1Controller::access(CoreId c, Addr addr, bool is_write,
     else
         ++cs.loads;
 
-    auto e = l1.find(line);
+    auto e = [&] {
+        prof::Scope cache_scope(prof::Cache);
+        return l1.find(line);
+    }();
     const bool writable = e &&
                           (e.meta().state == L1State::Exclusive ||
                            e.meta().state == L1State::Modified);
@@ -97,7 +102,10 @@ BaseL1Controller::fill(CoreId c, bool is_ifetch, LineAddr line,
 {
     Tile &tl = *ctx_.tiles[c];
     L1Cache &l1 = is_ifetch ? tl.l1i : tl.l1d;
-    auto victim = l1.victimFor(line);
+    auto victim = [&] {
+        prof::Scope cache_scope(prof::Cache);
+        return l1.victimFor(line);
+    }();
     if (victim.valid())
         evict(c, is_ifetch, victim, t);
 
@@ -293,6 +301,7 @@ BaseDirectoryController::l2FindOrFill(CoreId home, LineAddr line,
                                       Cycle t_arr, Cycle &t_ready,
                                       Cycle &waiting, Cycle &offchip)
 {
+    prof::Scope cache_scope(prof::Cache);
     Tile &ht = *ctx_.tiles[home];
     if (auto e = ht.l2.find(line)) {
         const Cycle t2 = std::max(t_arr, e.meta().busyUntil);
@@ -351,6 +360,7 @@ BaseDirectoryController::request(CoreId c, Addr addr, bool is_write,
                                  bool is_ifetch, bool upgrade,
                                  const L1SetHint &hint)
 {
+    prof::Scope prof_scope(prof::Protocol);
     // Engine guard: a directory transaction must only ever run in a
     // serial phase (a mispredicted parallel-phase miss panics here
     // before it can race on shared directory/network state).

@@ -1,0 +1,197 @@
+#include "sim/profiler.hh"
+
+#include <chrono>
+#include <mutex>
+#include <vector>
+
+namespace lacc {
+namespace prof {
+
+namespace detail {
+
+std::atomic<bool> g_enabled{false};
+
+namespace {
+
+std::uint64_t
+nowNs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+/**
+ * Per-thread recording state. Counters are relaxed atomics so
+ * snapshot() can read a live worker's totals without stopping it
+ * (sweep workers outlive the experiments they run); everything else
+ * is touched only by the owning thread.
+ */
+struct ThreadState
+{
+    std::array<std::atomic<std::uint64_t>, kNumBuckets> ns{};
+    std::array<std::atomic<std::uint64_t>, kNumBuckets> calls{};
+    static constexpr int kMaxDepth = 16;
+    Bucket stack[kMaxDepth];
+    int depth = 0;
+    std::uint64_t sliceStart = 0;
+
+    void
+    zero()
+    {
+        for (auto &v : ns)
+            v.store(0, std::memory_order_relaxed);
+        for (auto &v : calls)
+            v.store(0, std::memory_order_relaxed);
+        depth = 0;
+        sliceStart = 0;
+    }
+};
+
+/**
+ * Registry of every thread that ever recorded a scope. Dead threads
+ * fold their totals into merged_. Leaked singleton: thread_local
+ * destructors may run after function-local statics are destroyed.
+ */
+struct Registry
+{
+    std::mutex mu;
+    std::vector<ThreadState *> live;
+    Snapshot merged;
+};
+
+Registry &
+registry()
+{
+    static Registry &r = *new Registry;
+    return r;
+}
+
+/** Registers with the registry on first use, merges out on exit. */
+struct ThreadHandle
+{
+    ThreadState state;
+
+    ThreadHandle()
+    {
+        Registry &r = registry();
+        std::lock_guard<std::mutex> lk(r.mu);
+        r.live.push_back(&state);
+    }
+
+    ~ThreadHandle()
+    {
+        Registry &r = registry();
+        std::lock_guard<std::mutex> lk(r.mu);
+        for (std::size_t i = 0; i < r.live.size(); ++i) {
+            if (r.live[i] == &state) {
+                r.live.erase(r.live.begin() +
+                             static_cast<std::ptrdiff_t>(i));
+                break;
+            }
+        }
+        for (int b = 0; b < kNumBuckets; ++b) {
+            r.merged.ns[b] +=
+                state.ns[b].load(std::memory_order_relaxed);
+            r.merged.calls[b] +=
+                state.calls[b].load(std::memory_order_relaxed);
+        }
+    }
+};
+
+ThreadState &
+threadState()
+{
+    thread_local ThreadHandle h;
+    return h.state;
+}
+
+void
+charge(ThreadState &ts, Bucket b, std::uint64_t from, std::uint64_t to)
+{
+    ts.ns[b].fetch_add(to > from ? to - from : 0,
+                       std::memory_order_relaxed);
+}
+
+} // namespace
+
+bool
+enter(Bucket b)
+{
+    ThreadState &ts = threadState();
+    if (ts.depth >= ThreadState::kMaxDepth)
+        return false;
+    const std::uint64_t now = nowNs();
+    if (ts.depth > 0)
+        charge(ts, ts.stack[ts.depth - 1], ts.sliceStart, now);
+    ts.stack[ts.depth++] = b;
+    ts.sliceStart = now;
+    ts.calls[b].fetch_add(1, std::memory_order_relaxed);
+    return true;
+}
+
+void
+exit()
+{
+    ThreadState &ts = threadState();
+    const std::uint64_t now = nowNs();
+    charge(ts, ts.stack[ts.depth - 1], ts.sliceStart, now);
+    --ts.depth;
+    ts.sliceStart = now;
+}
+
+} // namespace detail
+
+const char *
+bucketName(Bucket b)
+{
+    switch (b) {
+      case Workload:
+        return "workload";
+      case Cache:
+        return "cache";
+      case Protocol:
+        return "protocol";
+      case Network:
+        return "network";
+      case Dram:
+        return "dram";
+      default:
+        return "?";
+    }
+}
+
+void
+setEnabled(bool on)
+{
+    detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+void
+reset()
+{
+    auto &r = detail::registry();
+    std::lock_guard<std::mutex> lk(r.mu);
+    for (auto *ts : r.live)
+        ts->zero();
+    r.merged = Snapshot{};
+}
+
+Snapshot
+snapshot()
+{
+    auto &r = detail::registry();
+    std::lock_guard<std::mutex> lk(r.mu);
+    Snapshot s = r.merged;
+    for (const auto *ts : r.live) {
+        for (int b = 0; b < kNumBuckets; ++b) {
+            s.ns[b] += ts->ns[b].load(std::memory_order_relaxed);
+            s.calls[b] += ts->calls[b].load(std::memory_order_relaxed);
+        }
+    }
+    return s;
+}
+
+} // namespace prof
+} // namespace lacc

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Lightweight scoped-cycle subsystem profiler.
+ *
+ * A handful of fixed buckets (workload generation, cache arrays,
+ * protocol logic, interconnect, DRAM) are instrumented at their entry
+ * points with prof::Scope guards. Attribution is *exclusive*: while a
+ * nested scope is open, wall time is charged to the innermost bucket
+ * only, so the bucket shares of a run sum to (at most) the run's wall
+ * time and "protocol" does not silently absorb the network and DRAM
+ * calls it makes.
+ *
+ * Cost model: the profiler is disabled by default and a disabled
+ * Scope is one relaxed atomic load — cheap enough to leave compiled
+ * into the hot path permanently (the bench acceptance bar is <= 2%
+ * overhead when disabled). When enabled (lacc_bench --profile), each
+ * scope boundary takes one steady_clock read plus thread-local
+ * bookkeeping; results are per-thread and merged on demand, so sweep
+ * workers and the sharded engine's pool need no synchronization on
+ * the hot path.
+ *
+ * Intended use: run an experiment with --profile, read the per-bucket
+ * share table (or the "profile" object in BENCH_*.json), pick the
+ * biggest bucket, optimize, re-run — docs/BENCHMARKS.md shows the
+ * output format.
+ */
+
+#ifndef LACC_SIM_PROFILER_HH
+#define LACC_SIM_PROFILER_HH
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+namespace lacc {
+namespace prof {
+
+/** Subsystem buckets. Keep bucketName() in sync. */
+enum Bucket : std::uint8_t {
+    Workload = 0, //!< synthetic-workload op generation
+    Cache,        //!< cache-array lookup/fill/victim selection
+    Protocol,     //!< L1/directory controller logic
+    Network,      //!< interconnect unicast/broadcast
+    Dram,         //!< DRAM timing/data access
+    kNumBuckets
+};
+
+/** Stable lowercase name of a bucket (table + JSON key). */
+const char *bucketName(Bucket b);
+
+/** Merged per-bucket totals across all threads since the last reset(). */
+struct Snapshot
+{
+    std::array<std::uint64_t, kNumBuckets> ns{};    //!< exclusive time
+    std::array<std::uint64_t, kNumBuckets> calls{}; //!< scope entries
+
+    /** Sum of the exclusive bucket times. */
+    std::uint64_t
+    totalNs() const
+    {
+        std::uint64_t t = 0;
+        for (std::uint64_t v : ns)
+            t += v;
+        return t;
+    }
+};
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+/** Out-of-line slow path; returns false if the scope stack is full. */
+bool enter(Bucket b);
+void exit();
+} // namespace detail
+
+/** Whether scopes are currently recording. */
+inline bool
+enabled()
+{
+    return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/** Turn recording on/off (flip only while no scopes are open). */
+void setEnabled(bool on);
+
+/** Zero all per-thread and merged counters. */
+void reset();
+
+/** Merge every thread's counters into one Snapshot. */
+Snapshot snapshot();
+
+/**
+ * RAII bucket guard. Place one at the entry of an instrumented
+ * subsystem function; nesting re-attributes time to the inner bucket
+ * for its duration (see the file header).
+ */
+class Scope
+{
+  public:
+    explicit Scope(Bucket b)
+    {
+        if (enabled())
+            active_ = detail::enter(b);
+    }
+    ~Scope()
+    {
+        if (active_)
+            detail::exit();
+    }
+    Scope(const Scope &) = delete;
+    Scope &operator=(const Scope &) = delete;
+
+  private:
+    bool active_ = false;
+};
+
+} // namespace prof
+} // namespace lacc
+
+#endif // LACC_SIM_PROFILER_HH

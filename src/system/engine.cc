@@ -5,6 +5,7 @@
 #include "sim/config.hh"
 #include "sim/log.hh"
 #include "sim/named_registry.hh"
+#include "sim/profiler.hh"
 #include "system/multicore.hh"
 #include "system/sharded.hh"
 #include "system/tile.hh"
@@ -30,6 +31,7 @@ SerialEngine::run(Workload &workload)
             op = tl.pending.front();
             tl.pending.pop_front();
         } else {
+            prof::Scope ps(prof::Workload);
             op = workload.next(static_cast<CoreId>(c));
         }
         m_.step(static_cast<CoreId>(c), op);

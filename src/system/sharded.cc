@@ -5,6 +5,7 @@
 #include "energy/model.hh"
 #include "sim/config.hh"
 #include "sim/log.hh"
+#include "sim/profiler.hh"
 #include "system/multicore.hh"
 #include "system/tile.hh"
 #include "workload/workload.hh"
@@ -168,8 +169,10 @@ ShardedEngine::scanCore(CoreId c)
     const std::uint32_t fp = w.iFootprintLines(c);
     std::uint64_t examined = 0;
     while (examined < kScanCap && cs.keys.size() < kMaxAnnotations) {
-        if (cs.keys.size() >= tl.pending.size())
+        if (cs.keys.size() >= tl.pending.size()) {
+            prof::Scope ps(prof::Workload);
             tl.pending.push_back(w.next(c));
+        }
         const MemOp &op = tl.pending[cs.keys.size()];
         ++examined;
 

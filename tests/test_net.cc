@@ -429,6 +429,180 @@ TEST(Crossbar, EmulatedBroadcastCostsMoreThanMeshTree)
 }
 
 // ---------------------------------------------------------------------------
+// Congestion diagnostics
+// ---------------------------------------------------------------------------
+
+TEST(Congestion, TopLinksTieBreakIsDeterministic)
+{
+    // Three congested links: 1->0 (link 5) queues more than 0->1
+    // (link 0) and 2->3 (link 8), which queue exactly the same amount.
+    // The order must be (queueing desc, link id asc) — equal-queueing
+    // links may not reorder across runs or sort implementations.
+    EnergyModel e;
+    MeshNetwork net(meshCfg(4, 2), e);
+    net.unicast(0, 1, 8, 0);
+    net.unicast(0, 1, 8, 0); // queues 7 cycles on link 0
+    net.unicast(2, 3, 8, 0);
+    net.unicast(2, 3, 8, 0); // queues 7 cycles on link 8
+    net.unicast(1, 0, 8, 0);
+    net.unicast(1, 0, 8, 0);
+    net.unicast(1, 0, 8, 0); // queues 7 + 15 cycles on link 5
+
+    const auto top = net.topCongestedLinks(8);
+    ASSERT_EQ(top.size(), 3u);
+    EXPECT_EQ(top[0].first, 5u);
+    EXPECT_EQ(top[0].second, 22u);
+    EXPECT_EQ(top[1].first, 0u);   // ties: lower link id first
+    EXPECT_EQ(top[1].second, 7u);
+    EXPECT_EQ(top[2].first, 8u);
+    EXPECT_EQ(top[2].second, 7u);
+
+    // Truncation keeps the same order.
+    const auto top2 = net.topCongestedLinks(2);
+    ASSERT_EQ(top2.size(), 2u);
+    EXPECT_EQ(top2[0].first, 5u);
+    EXPECT_EQ(top2[1].first, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Table-driven path == reference walker (all topologies)
+// ---------------------------------------------------------------------------
+
+/** Deterministic 64-bit LCG (tests must not depend on libstdc++). */
+struct Lcg
+{
+    std::uint64_t s;
+    std::uint32_t
+    next(std::uint32_t m)
+    {
+        s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+        return static_cast<std::uint32_t>((s >> 33) % m);
+    }
+};
+
+/**
+ * Drive two identically-configured instances of one topology through
+ * the same randomized (src, dst, flits, depart) message sequence —
+ * `table` via the table-driven hot path, `ref` via the hop-by-hop
+ * reference walker — and require bit-identical timing, arrivals,
+ * traffic stats, energy, and per-link flit/congestion accounting.
+ */
+void
+expectPathsEquivalent(NetworkModel &table, NetworkModel &ref,
+                      std::uint32_t cores, std::uint32_t links,
+                      std::uint64_t seed)
+{
+    Lcg rng{seed};
+    std::vector<Cycle> arr_table, arr_ref;
+    Cycle clock = 0;
+    for (int i = 0; i < 2000; ++i) {
+        const auto src = static_cast<CoreId>(rng.next(cores));
+        const auto dst = static_cast<CoreId>(rng.next(cores));
+        const std::uint32_t flits = 1 + rng.next(9);
+        clock += rng.next(5);
+        if (rng.next(8) == 0) {
+            const Cycle a = table.broadcast(src, flits, clock,
+                                            arr_table);
+            const Cycle b = ref.referenceBroadcast(src, flits, clock,
+                                                   arr_ref);
+            ASSERT_EQ(a, b) << "broadcast " << i << " from " << src;
+            ASSERT_EQ(arr_table, arr_ref)
+                << "broadcast " << i << " from " << src;
+        } else {
+            ASSERT_EQ(table.unicast(src, dst, flits, clock),
+                      ref.referenceUnicast(src, dst, flits, clock))
+                << "unicast " << i << ": " << src << "->" << dst;
+        }
+    }
+
+    EXPECT_EQ(table.stats().unicasts, ref.stats().unicasts);
+    EXPECT_EQ(table.stats().broadcasts, ref.stats().broadcasts);
+    EXPECT_EQ(table.stats().flitsInjected, ref.stats().flitsInjected);
+    EXPECT_EQ(table.stats().flitHops, ref.stats().flitHops);
+    EXPECT_EQ(table.stats().contentionCycles,
+              ref.stats().contentionCycles);
+    for (std::uint32_t l = 0; l < links; ++l)
+        ASSERT_EQ(table.linkFlits(l), ref.linkFlits(l)) << "link " << l;
+    EXPECT_EQ(table.topCongestedLinks(16), ref.topCongestedLinks(16));
+}
+
+/** links-per-core of each factory topology (mesh/torus 4, ring 2,
+ *  crossbar 1). */
+std::uint32_t
+linksPerCore(const std::string &name)
+{
+    if (name == "ring")
+        return 2;
+    if (name == "xbar")
+        return 1;
+    return 4;
+}
+
+TEST(TableEquivalence, AllTopologiesWithContention)
+{
+    std::uint64_t seed = 1;
+    for (const auto &name : networkNames()) {
+        SystemConfig cfg = meshCfg(16, 4);
+        applyNetworkName(cfg, name);
+        EnergyModel e1, e2;
+        const auto table = makeNetwork(cfg, e1);
+        const auto ref = makeNetwork(cfg, e2);
+        expectPathsEquivalent(*table, *ref, cfg.numCores,
+                              cfg.numCores * linksPerCore(name),
+                              seed++);
+        EXPECT_DOUBLE_EQ(e1.breakdown().link, e2.breakdown().link)
+            << name;
+        EXPECT_DOUBLE_EQ(e1.breakdown().router, e2.breakdown().router)
+            << name;
+    }
+}
+
+TEST(TableEquivalence, AllTopologiesWithoutContention)
+{
+    // The no-contention fast path computes arrivals analytically; it
+    // must agree with the reference walker's hop-by-hop times and
+    // still account per-link flit loads identically.
+    std::uint64_t seed = 99;
+    for (const auto &name : networkNames()) {
+        SystemConfig cfg = meshCfg(16, 4);
+        cfg.modelContention = false;
+        applyNetworkName(cfg, name);
+        EnergyModel e1, e2;
+        const auto table = makeNetwork(cfg, e1);
+        const auto ref = makeNetwork(cfg, e2);
+        expectPathsEquivalent(*table, *ref, cfg.numCores,
+                              cfg.numCores * linksPerCore(name),
+                              seed++);
+    }
+}
+
+TEST(TableEquivalence, NonSquareMeshAndTorus)
+{
+    // Rectangular geometry exercises the distinct row/column chain
+    // lengths of the broadcast schedules.
+    std::uint64_t seed = 7;
+    for (const std::string name : {"mesh", "torus"}) {
+        SystemConfig cfg = meshCfg(8, 4); // 4x2
+        applyNetworkName(cfg, name);
+        EnergyModel e1, e2;
+        const auto table = makeNetwork(cfg, e1);
+        const auto ref = makeNetwork(cfg, e2);
+        expectPathsEquivalent(*table, *ref, cfg.numCores,
+                              cfg.numCores * 4, seed++);
+    }
+}
+
+TEST(TableEquivalence, TableFootprintIsReported)
+{
+    EnergyModel e;
+    MeshNetwork net(meshCfg(16, 4), e);
+    // 16 cores: 256 routes + their link spans + 16 broadcast
+    // schedules of 15 hops each — nonzero and well under a megabyte.
+    EXPECT_GT(net.tableFootprintBytes(), 0u);
+    EXPECT_LT(net.tableFootprintBytes(), 1u << 20);
+}
+
+// ---------------------------------------------------------------------------
 // Factory
 // ---------------------------------------------------------------------------
 

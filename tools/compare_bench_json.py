@@ -20,15 +20,24 @@ documents the rate is derived from the per-run instruction totals and
 wall clocks, so old/new artifacts of different schema versions still
 produce a speedup column.
 
+With --fail-below RATIO the throughput comparison becomes a soft perf
+gate: the exit status also fails when the geomean ops/sec speedup
+(new/old) falls below RATIO. Use a ratio comfortably under 1.0 (e.g.
+0.90) so machine noise doesn't trip it; simulated-metric drift is
+still checked independently.
+
 Exit codes:
-  0  both directories parsed and every common experiment matched
-     within --tolerance (simulated metrics only)
-  1  simulated metrics drifted beyond --tolerance, or a common
-     experiment's run grids disagree
+  0  both directories parsed, every common experiment matched within
+     --tolerance (simulated metrics only), and — when --fail-below is
+     given — the geomean ops/sec speedup is at or above the ratio
+  1  simulated metrics drifted beyond --tolerance, a common
+     experiment's run grids disagree, or the geomean speedup fell
+     below --fail-below
   2  usage / IO error
 
-Typical CI usage (non-gating, informational):
-  python3 tools/compare_bench_json.py prev-json bench-json --tolerance 0
+Typical CI usage (warn-only while the gate beds in):
+  python3 tools/compare_bench_json.py prev-json bench-json \
+      --tolerance 0 --fail-below 0.90
 """
 
 import argparse
@@ -98,7 +107,11 @@ def ops_per_sec(doc):
 
 
 def print_throughput_table(old_docs, new_docs):
-    """Informational ops/sec comparison; never affects the exit code."""
+    """ops/sec comparison table; returns the geomean speedup (or None).
+
+    The table itself is informational; the returned geomean only
+    affects the exit code when --fail-below is given.
+    """
     rows = []
     speedups = []
     for name in sorted(set(old_docs) & set(new_docs)):
@@ -111,18 +124,20 @@ def print_throughput_table(old_docs, new_docs):
         else:
             rows.append((name, old_rate, new_rate, "n/a"))
     if not rows:
-        return
+        return None
     print()
-    print("Simulator throughput (informational; machine-dependent):")
+    print("Simulator throughput (machine-dependent):")
     print(f"  {'experiment':<12} {'old ops/sec':>14} {'new ops/sec':>14}"
           f" {'speedup':>8}")
     for name, old_rate, new_rate, speedup in rows:
         print(f"  {name:<12} {old_rate:>14,.0f} {new_rate:>14,.0f}"
               f" {speedup:>8}")
-    if speedups:
-        geo = math.exp(sum(math.log(s) for s in speedups) / len(speedups))
-        print(f"  geomean speedup: {geo:.2f}x over {len(speedups)}"
-              " experiment(s)")
+    if not speedups:
+        return None
+    geo = math.exp(sum(math.log(s) for s in speedups) / len(speedups))
+    print(f"  geomean speedup: {geo:.2f}x over {len(speedups)}"
+          " experiment(s)")
+    return geo
 
 
 def duplicate_labels(runs):
@@ -181,6 +196,12 @@ def main(argv):
         "--tolerance", type=float, default=0.0,
         help="relative drift allowed in simulated metrics"
              " (default 0: bit-identical)")
+    parser.add_argument(
+        "--fail-below", type=float, default=None, metavar="RATIO",
+        help="exit nonzero when the geomean ops/sec speedup"
+             " (new/old) is below RATIO (e.g. 0.90 tolerates a 10%%"
+             " slowdown); off by default because wall clocks are"
+             " machine-dependent")
     args = parser.parse_args(argv[1:])
 
     old_docs = load_dir(args.old_dir)
@@ -229,15 +250,27 @@ def main(argv):
             print(line)
         drift += exp_drift
 
-    print_throughput_table(old_docs, new_docs)
+    geomean = print_throughput_table(old_docs, new_docs)
 
     if drift:
         print(f"DRIFT: {drift} simulated-metric difference(s) beyond"
               f" tolerance {args.tolerance}")
         return 1
+    if args.fail_below is not None:
+        if geomean is None:
+            print(f"SLOW: --fail-below {args.fail_below} given but no"
+                  " geomean speedup could be derived")
+            return 1
+        if geomean < args.fail_below:
+            print(f"SLOW: geomean ops/sec speedup {geomean:.3f}x is"
+                  f" below --fail-below {args.fail_below}")
+            return 1
     print("PASS: all common experiments match"
           + (f" within tolerance {args.tolerance}"
-             if args.tolerance else " bit-identically"))
+             if args.tolerance else " bit-identically")
+          + (f"; geomean speedup {geomean:.2f}x >="
+             f" {args.fail_below}"
+             if args.fail_below is not None else ""))
     return 0
 
 
