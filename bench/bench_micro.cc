@@ -384,6 +384,34 @@ BM_RemoteWordRoundtrip(benchmark::State &state)
 BENCHMARK(BM_RemoteWordRoundtrip);
 
 void
+BM_RemoteWordRoundtripFaultArmed(benchmark::State &state)
+{
+    // Same roundtrip with a fault injector armed at rate zero: every
+    // link traversal and directory touch pays the pure-hash roll, but
+    // nothing ever fires (threshold 0). The delta against
+    // BM_RemoteWordRoundtrip is the full cost of *enabling* fault
+    // injection; BM_RemoteWordRoundtrip itself is the --faults none
+    // case, where no injector exists and each hook is one untaken
+    // null-pointer branch.
+    auto cfg = microCfg();
+    cfg.classifierKind = ClassifierKind::Complete;
+    cfg.faultKind = FaultKind::Links;
+    cfg.faultRate = 0.0;
+    Multicore m(cfg);
+    m.setFunctionalChecks(false);
+    const Addr a = Addr{1} << 33;
+    m.testAccess(0, a, false);
+    m.testAccess(1, a, false);
+    m.testAccess(0, a, false);
+    m.testAccess(1, a, true);
+    for (auto _ : state) {
+        m.testAccess(0, a, false);
+        m.testAccess(1, a, true);
+    }
+}
+BENCHMARK(BM_RemoteWordRoundtripFaultArmed);
+
+void
 BM_WorkloadNext(benchmark::State &state)
 {
     auto cfg = microCfg();

@@ -7,11 +7,12 @@
  *
  * Usage:
  *   lacc_bench --list | --list-protocols | --list-networks |
- *              --list-engines
+ *              --list-engines | --list-faults
  *   lacc_bench [--filter SUBSTR] [--jobs N] [--sim-threads N]
  *              [--scale X] [--repeat N] [--protocol NAME]
- *              [--network NAME] [--json-dir DIR] [--profile]
- *              [--quiet]
+ *              [--network NAME] [--faults NAME] [--fault-rate X]
+ *              [--fault-seed N] [--timeout-ms X] [--resume]
+ *              [--json-dir DIR] [--profile] [--quiet]
  */
 
 #include <cstdio>
@@ -21,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/plan.hh"
 #include "harness/registry.hh"
 #include "harness/runner.hh"
 #include "harness/sink.hh"
@@ -50,6 +52,7 @@ usage(std::FILE *to)
         "  --list-networks   list interconnect-topology names and"
         " exit\n"
         "  --list-engines    list execution-engine names and exit\n"
+        "  --list-faults     list fault-plan names and exit\n"
         "  --filter SUBSTR   only experiments whose name contains"
         " SUBSTR\n"
         "  --jobs N          worker threads for the sweeps"
@@ -68,6 +71,19 @@ usage(std::FILE *to)
         "                    protocol (see --list-protocols)\n"
         "  --network NAME    force every run onto a named interconnect\n"
         "                    topology (see --list-networks)\n"
+        "  --faults NAME     force every run onto a named fault plan\n"
+        "                    (see --list-faults)\n"
+        "  --fault-rate X    base per-event fault probability in"
+        " [0, 1]\n"
+        "  --fault-seed N    fault-schedule seed (independent of the\n"
+        "                    workload seed; same seed => identical\n"
+        "                    fault schedule)\n"
+        "  --timeout-ms X    per-run wall-clock watchdog; an expired\n"
+        "                    run is recorded as \"failed\", not fatal\n"
+        "  --resume          skip experiments whose BENCH_*.json in\n"
+        "                    --json-dir already holds a complete,\n"
+        "                    current artifact (corrupt or truncated\n"
+        "                    files are re-run)\n"
         "  --json-dir DIR    write BENCH_<experiment>.json into DIR\n"
         "  --profile         record per-subsystem exclusive cycle\n"
         "                    shares (workload/cache/protocol/network/\n"
@@ -105,6 +121,7 @@ main(int argc, char **argv)
     setVerbose(false);
 
     bool list = false;
+    bool resume = false;
     std::string filter;
     std::string jsonDir;
     SweepOptions opts;
@@ -134,6 +151,10 @@ main(int argc, char **argv)
             return 0;
         } else if (arg == "--list-engines") {
             for (const auto &name : engineNames())
+                std::printf("%s\n", name.c_str());
+            return 0;
+        } else if (arg == "--list-faults") {
+            for (const auto &name : faultNames())
                 std::printf("%s\n", name.c_str());
             return 0;
         } else if (arg == "--filter") {
@@ -170,6 +191,39 @@ main(int argc, char **argv)
             opts.overrides.protocol = value("--protocol");
         } else if (arg == "--network") {
             opts.overrides.network = value("--network");
+        } else if (arg == "--faults") {
+            opts.overrides.faults = value("--faults");
+        } else if (arg == "--fault-rate") {
+            char *end = nullptr;
+            const char *s = value("--fault-rate");
+            const double rate = std::strtod(s, &end);
+            if (end == s || *end != '\0' || rate < 0.0 || rate > 1.0) {
+                std::fprintf(stderr,
+                             "--fault-rate wants a number in"
+                             " [0, 1]\n");
+                return 2;
+            }
+            opts.overrides.faultRate = rate;
+        } else if (arg == "--fault-seed") {
+            char *end = nullptr;
+            const char *s = value("--fault-seed");
+            const unsigned long long seed = std::strtoull(s, &end, 0);
+            if (end == s || *end != '\0') {
+                std::fprintf(stderr,
+                             "--fault-seed wants an integer\n");
+                return 2;
+            }
+            opts.overrides.faultSeed = seed;
+            opts.overrides.faultSeedSet = true;
+        } else if (arg == "--timeout-ms") {
+            if (!parsePositiveDouble(value("--timeout-ms"),
+                                     opts.timeoutMs)) {
+                std::fprintf(stderr,
+                             "--timeout-ms wants a positive number\n");
+                return 2;
+            }
+        } else if (arg == "--resume") {
+            resume = true;
         } else if (arg == "--json-dir") {
             jsonDir = value("--json-dir");
         } else if (arg == "--profile") {
@@ -208,9 +262,24 @@ main(int argc, char **argv)
         return 0;
     }
 
+    if (resume && jsonDir.empty()) {
+        std::fprintf(stderr, "--resume requires --json-dir\n");
+        return 2;
+    }
+
     double totalWall = 0.0;
     std::size_t totalRuns = 0;
+    std::size_t skipped = 0;
     for (const auto *exp : selected) {
+        if (resume && validArtifactExists(jsonDir, *exp)) {
+            ++skipped;
+            if (opts.progress)
+                std::fprintf(stderr,
+                             "[bench] === %s === skipped (complete"
+                             " artifact in %s)\n",
+                             exp->name.c_str(), jsonDir.c_str());
+            continue;
+        }
         if (opts.progress)
             std::fprintf(stderr, "[bench] === %s ===\n",
                          exp->name.c_str());
@@ -221,9 +290,15 @@ main(int argc, char **argv)
         if (!jsonDir.empty())
             writeJsonFile(jsonDir, exp->name, documentFor(outcome));
     }
-    if (opts.progress)
+    if (opts.progress) {
         std::fprintf(stderr,
                      "[bench] done: %zu experiments, %zu runs, %.1fs\n",
-                     selected.size(), totalRuns, totalWall);
+                     selected.size() - skipped, totalRuns, totalWall);
+        if (skipped > 0)
+            std::fprintf(stderr,
+                         "[bench] resume: skipped %zu experiments with"
+                         " complete artifacts\n",
+                         skipped);
+    }
     return 0;
 }

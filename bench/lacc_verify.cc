@@ -10,6 +10,7 @@
  * Usage:
  *   lacc_verify --fuzz [--seed N] [--iters N] [--cores N] [--ops N]
  *               [--protocol NAME] [--network NAME] [--sim-threads N]
+ *               [--faults NAME] [--fault-rate X] [--fault-seed N]
  *               [--repro-dir DIR] [--no-stepwise]
  *   lacc_verify --enumerate [--cores N] [--lines N] [--max-states N]
  *               [--protocol NAME] [--network NAME]
@@ -26,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/plan.hh"
 #include "net/factory.hh"
 #include "protocol/factory.hh"
 #include "sim/log.hh"
@@ -67,6 +69,15 @@ usage(std::FILE *to)
         " engine)\n"
         "  --repro-dir DIR   write minimized repro traces into DIR\n"
         "  --no-stepwise     skip the per-access invariant replay\n"
+        "  --faults NAME     fuzz under a named fault plan (see\n"
+        "                    lacc_bench --list-faults); a RunAbort is\n"
+        "                    a *detected* fault, only silent\n"
+        "                    corruption fails the campaign. Shrinking\n"
+        "                    co-minimizes the fault schedule with the\n"
+        "                    trace.\n"
+        "  --fault-rate X    base per-event fault probability in"
+        " [0, 1]\n"
+        "  --fault-seed N    fault-schedule seed\n"
         "\n"
         "enumerate options:\n"
         "  --cores N         cores, in [2, 4] (default 2)\n"
@@ -199,6 +210,25 @@ main(int argc, char **argv)
             ov.protocol = value("--protocol");
         } else if (arg == "--network") {
             ov.network = value("--network");
+        } else if (arg == "--faults") {
+            ov.faults = value("--faults");
+        } else if (arg == "--fault-rate") {
+            char *end = nullptr;
+            const char *s = value("--fault-rate");
+            const double rate = std::strtod(s, &end);
+            if (end == s || *end != '\0' || rate < 0.0 || rate > 1.0) {
+                std::fprintf(stderr,
+                             "--fault-rate wants a number in"
+                             " [0, 1], got '%s'\n",
+                             s);
+                return 2;
+            }
+            ov.faultRate = rate;
+        } else if (arg == "--fault-seed") {
+            ov.faultSeed = parseOrDie("--fault-seed",
+                                      value("--fault-seed"), 0,
+                                      UINT64_MAX / 2);
+            ov.faultSeedSet = true;
         } else if (arg == "--repro-dir") {
             fo.reproDir = value("--repro-dir");
         } else if (arg == "--no-stepwise") {
@@ -232,6 +262,10 @@ main(int argc, char **argv)
         fo.protocol = ov.protocol;
         fo.network = ov.network;
         fo.simThreads = ov.simThreads;
+        fo.faults = ov.faults;
+        fo.faultRate = ov.faultRate;
+        fo.faultSeed = ov.faultSeed;
+        fo.faultSeedSet = ov.faultSeedSet;
         const FuzzResult res = runFuzz(fo);
         std::printf("fuzz: seed %" PRIu64 ", %u traces, %" PRIu64
                     " runs, %" PRIu64 " failure(s)\n",
@@ -255,6 +289,13 @@ main(int argc, char **argv)
         std::fprintf(stderr,
                      "--sim-threads applies to --fuzz only (the"
                      " enumerator drives accesses stepwise)\n");
+        return 2;
+    }
+    if (!ov.faults.empty() || ov.faultRate >= 0.0 || ov.faultSeedSet) {
+        std::fprintf(stderr,
+                     "--faults/--fault-rate/--fault-seed apply to"
+                     " --fuzz only (the enumerator explores the"
+                     " fault-free state space)\n");
         return 2;
     }
     if (!ov.protocol.empty())

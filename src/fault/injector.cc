@@ -1,0 +1,131 @@
+#include "fault/injector.hh"
+
+#include <cstdio>
+
+#include "sim/abort.hh"
+
+namespace lacc {
+
+namespace {
+
+// Decision-stream tags: distinct hash domains per fault process, so
+// e.g. a link roll and a soft-error roll at the same timestamp are
+// independent draws.
+constexpr std::uint64_t kStreamDrop = 0x6c6b4472ull;    // "lkDr"
+constexpr std::uint64_t kStreamCorrupt = 0x6c6b4372ull; // "lkCr"
+constexpr std::uint64_t kStreamSoft = 0x73667445ull;    // "sftE"
+constexpr std::uint64_t kStreamDouble = 0x64626c42ull;  // "dblB"
+constexpr std::uint64_t kStreamBit = 0x62697450ull;     // "bitP"
+
+/** splitmix64 finalizer (same mixer sim/rng.hh seeds with). */
+std::uint64_t
+mix(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/** Probability -> fixed-point threshold on [0, 2^64). */
+std::uint64_t
+threshold(double rate)
+{
+    if (rate <= 0.0)
+        return 0;
+    if (rate >= 1.0)
+        return ~0ull;
+    return static_cast<std::uint64_t>(
+        rate * 18446744073709551616.0 /* 2^64 */);
+}
+
+/** Does a uniform draw @p r fire under threshold @p thr? */
+bool
+fires(std::uint64_t r, std::uint64_t thr)
+{
+    // A saturated threshold (rate >= 1) must fire with certainty —
+    // the budget-exhaustion negative tests rely on it.
+    return thr != 0 && (thr == ~0ull || r < thr);
+}
+
+} // namespace
+
+FaultInjector::FaultInjector(const SystemConfig &cfg)
+    : plan_(makeFaultPlan(cfg)), seed_(mix(cfg.faultSeed))
+{
+    dropThresh_ = threshold(plan_.linkDropRate);
+    corruptThresh_ = threshold(plan_.linkCorruptRate);
+    softThresh_ = threshold(plan_.softErrorRate);
+    doubleThresh_ = threshold(plan_.doubleBitFraction);
+}
+
+std::uint64_t
+FaultInjector::roll(std::uint64_t stream, std::uint64_t a,
+                    std::uint64_t b, std::uint64_t c) const
+{
+    return mix(seed_ ^ mix(stream ^ mix(a ^ mix(b ^ mix(c)))));
+}
+
+LinkFault
+FaultInjector::rollLink(std::uint32_t link, Cycle t,
+                        std::uint32_t flits)
+{
+    // Two independent draws; a drop shadows a simultaneous corrupt
+    // (the message is gone either way).
+    if (fires(roll(kStreamDrop, link, t, flits), dropThresh_)) {
+        ++stats_.linkDrops;
+        return LinkFault::Drop;
+    }
+    if (fires(roll(kStreamCorrupt, link, t, flits), corruptThresh_)) {
+        ++stats_.linkCorruptions;
+        return LinkFault::Corrupt;
+    }
+    return LinkFault::None;
+}
+
+SoftFault
+FaultInjector::rollSoft(FaultUnit unit, LineAddr line, Cycle t)
+{
+    const std::uint64_t u = static_cast<std::uint64_t>(unit);
+    if (!fires(roll(kStreamSoft, u, line, t), softThresh_))
+        return SoftFault::None;
+    ++stats_.softErrors;
+    return fires(roll(kStreamDouble, u, line, t), doubleThresh_)
+               ? SoftFault::Double
+               : SoftFault::Single;
+}
+
+std::uint32_t
+FaultInjector::strikeBit(LineAddr line, Cycle t,
+                         std::uint32_t bits) const
+{
+    if (bits == 0)
+        return 0;
+    return static_cast<std::uint32_t>(roll(kStreamBit, line, t, bits) %
+                                      bits);
+}
+
+void
+FaultInjector::budgetExhausted(CoreId src, CoreId dst,
+                               std::uint32_t attempts) const
+{
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "retransmit budget exhausted: %u attempts %u -> %u "
+                  "all faulted",
+                  attempts, static_cast<unsigned>(src),
+                  static_cast<unsigned>(dst));
+    throw RunAbort(AbortKind::FaultFatal, buf);
+}
+
+void
+FaultInjector::unrecoverable(const char *what, LineAddr line) const
+{
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "uncorrectable fault: %s (line %llx)", what,
+                  static_cast<unsigned long long>(line));
+    throw RunAbort(AbortKind::FaultFatal, buf);
+}
+
+} // namespace lacc

@@ -1,0 +1,88 @@
+#include "fault/plan.hh"
+
+#include "sim/named_registry.hh"
+
+namespace lacc {
+
+namespace {
+
+/**
+ * The single registration point: adding a fault plan means adding one
+ * entry here (plus its FaultKind). Lookup and diagnostics come from
+ * the shared named-registry helpers. Each make() scales its shape by
+ * cfg.faultRate so --fault-rate sweeps intensity, not structure.
+ */
+struct FaultEntry
+{
+    const char *name;
+    FaultKind kind;
+    FaultPlan (*make)(const SystemConfig &);
+};
+
+const FaultEntry kFaults[] = {
+    {"none", FaultKind::None,
+     [](const SystemConfig &) {
+         return FaultPlan{}; // all rates zero
+     }},
+    {"links", FaultKind::Links,
+     [](const SystemConfig &cfg) {
+         FaultPlan p;
+         p.kind = FaultKind::Links;
+         // 70/30 drop/corrupt split: timeouts dominate real lossy
+         // fabrics, but both recovery paths stay exercised.
+         p.linkDropRate = 0.7 * cfg.faultRate;
+         p.linkCorruptRate = 0.3 * cfg.faultRate;
+         return p;
+     }},
+    {"soft", FaultKind::Soft,
+     [](const SystemConfig &cfg) {
+         FaultPlan p;
+         p.kind = FaultKind::Soft;
+         p.softErrorRate = cfg.faultRate;
+         p.doubleBitFraction = 0.05;
+         return p;
+     }},
+    {"storm", FaultKind::Storm,
+     [](const SystemConfig &cfg) {
+         FaultPlan p;
+         p.kind = FaultKind::Storm;
+         p.linkDropRate = 3.5 * cfg.faultRate;
+         p.linkCorruptRate = 1.5 * cfg.faultRate;
+         p.softErrorRate = 5.0 * cfg.faultRate;
+         p.doubleBitFraction = 0.1;
+         return p;
+     }},
+};
+
+} // namespace
+
+FaultPlan
+makeFaultPlan(const SystemConfig &cfg)
+{
+    return registry::entryForKind(kFaults, cfg.faultKind, "fault plan")
+        .make(cfg);
+}
+
+const std::vector<std::string> &
+faultNames()
+{
+    static const std::vector<std::string> names =
+        registry::entryNames(kFaults);
+    return names;
+}
+
+const char *
+faultNameFor(const SystemConfig &cfg)
+{
+    return registry::entryForKind(kFaults, cfg.faultKind, "fault plan")
+        .name;
+}
+
+void
+applyFaultName(SystemConfig &cfg, const std::string &name)
+{
+    cfg.faultKind =
+        registry::entryForNameOrFatal(kFaults, "fault plan", name).kind;
+}
+
+} // namespace lacc

@@ -1,0 +1,136 @@
+#include "fault/secded.hh"
+
+namespace lacc {
+
+namespace {
+
+/**
+ * Codeword positions 1..71 in the classic Hamming layout: parity bits
+ * at the power-of-two positions {1,2,4,8,16,32,64}, data bits filling
+ * the 64 remaining slots in increasing order. Parity values are chosen
+ * so the XOR of the positions of all set bits is zero — then a single
+ * flipped bit at position p yields syndrome p directly.
+ */
+constexpr bool
+isPow2(std::uint32_t p)
+{
+    return (p & (p - 1)) == 0;
+}
+
+struct PositionTable
+{
+    std::uint32_t posOfData[64] = {};  //!< data bit -> codeword position
+    std::int8_t dataOfPos[72] = {};    //!< position -> data bit or -1
+};
+
+PositionTable
+buildTable()
+{
+    PositionTable t;
+    for (std::uint32_t p = 0; p < 72; ++p)
+        t.dataOfPos[p] = -1;
+    std::uint32_t d = 0;
+    for (std::uint32_t p = 3; p <= 71 && d < 64; ++p) {
+        if (isPow2(p))
+            continue;
+        t.posOfData[d] = p;
+        t.dataOfPos[p] = static_cast<std::int8_t>(d);
+        ++d;
+    }
+    return t;
+}
+
+const PositionTable kTable = buildTable();
+
+std::uint32_t
+popcount64(std::uint64_t v)
+{
+    std::uint32_t n = 0;
+    while (v != 0) {
+        v &= v - 1;
+        ++n;
+    }
+    return n;
+}
+
+/** XOR of the codeword positions of every set data bit. */
+std::uint32_t
+dataSyndrome(std::uint64_t data)
+{
+    std::uint32_t syn = 0;
+    for (std::uint32_t i = 0; i < 64; ++i)
+        if ((data >> i) & 1ull)
+            syn ^= kTable.posOfData[i];
+    return syn;
+}
+
+} // namespace
+
+SecdedWord
+secdedEncode(std::uint64_t data)
+{
+    SecdedWord w;
+    w.data = data;
+    const std::uint32_t syn = dataSyndrome(data);
+    std::uint8_t check = 0;
+    for (std::uint32_t k = 0; k < 7; ++k)
+        if ((syn >> k) & 1u)
+            check |= static_cast<std::uint8_t>(1u << k);
+    // Overall parity over the 71 Hamming positions (data + 7 parity).
+    if ((popcount64(data) + popcount64(check)) & 1u)
+        check |= 0x80u;
+    w.check = check;
+    return w;
+}
+
+SecdedDecode
+secdedDecode(const SecdedWord &w)
+{
+    SecdedDecode out;
+    out.data = w.data;
+
+    std::uint32_t syn = dataSyndrome(w.data);
+    for (std::uint32_t k = 0; k < 7; ++k)
+        if ((w.check >> k) & 1u)
+            syn ^= 1u << k;
+    // Overall parity including the stored overall bit: 0 when intact.
+    const bool overallOdd =
+        (popcount64(w.data) + popcount64(w.check)) & 1u;
+
+    if (syn == 0) {
+        // Either clean, or only the overall-parity bit itself flipped.
+        out.status = overallOdd ? SecdedStatus::CorrectedCheck
+                                : SecdedStatus::Clean;
+        return out;
+    }
+    if (!overallOdd) {
+        // Non-zero syndrome with even overall parity: two flips.
+        out.status = SecdedStatus::DetectedDouble;
+        return out;
+    }
+    if (syn > 71) {
+        // Syndrome outside the codeword: corrupted beyond a single
+        // in-range flip (possible for aliasing multi-bit patterns).
+        out.status = SecdedStatus::DetectedDouble;
+        return out;
+    }
+    const std::int8_t d = kTable.dataOfPos[syn];
+    if (d < 0) {
+        out.status = SecdedStatus::CorrectedCheck; // a parity bit flipped
+        return out;
+    }
+    out.data = w.data ^ (1ull << d);
+    out.status = SecdedStatus::CorrectedData;
+    return out;
+}
+
+void
+secdedFlip(SecdedWord &w, std::uint32_t bit)
+{
+    if (bit < 64)
+        w.data ^= 1ull << bit;
+    else if (bit < 72)
+        w.check ^= static_cast<std::uint8_t>(1u << (bit - 64));
+}
+
+} // namespace lacc

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * (72,64) Hamming SECDED code — the ECC model behind the soft-error
+ * fault plans (fault/injector.hh).
+ *
+ * One 64-bit data word is protected by 8 check bits: 7 Hamming parity
+ * bits (single-error correction) plus one overall parity bit (double-
+ * error detection) — the standard DRAM/SRAM SECDED organization. The
+ * simulator never stores codewords; protected structures charge the
+ * *cost* of correction/scrub and keep their data architecturally
+ * clean (see docs/ARCHITECTURE.md "Fault injection & recovery" for
+ * why that preserves the zero-silent-corruption guarantee). This
+ * module exists so the ECC claims rest on a real, unit-tested code
+ * rather than on asserted constants: tests/test_fault.cc drives
+ * encode/corrupt/decode over every single- and double-bit pattern.
+ */
+
+#ifndef LACC_FAULT_SECDED_HH
+#define LACC_FAULT_SECDED_HH
+
+#include <cstdint>
+
+namespace lacc {
+
+/** A (72,64) SECDED codeword: 64 data bits + 8 check bits. */
+struct SecdedWord
+{
+    std::uint64_t data = 0;
+    std::uint8_t check = 0; //!< bits 0-6: Hamming parity, bit 7: overall
+};
+
+/** Outcome of decoding a (possibly corrupted) codeword. */
+enum class SecdedStatus : std::uint8_t {
+    Clean,          //!< no error detected
+    CorrectedData,  //!< single-bit error in the data, corrected
+    CorrectedCheck, //!< single-bit error in a check bit, corrected
+    DetectedDouble, //!< double-bit error: detected, uncorrectable
+};
+
+/** Decode result: status plus the (corrected) data word. */
+struct SecdedDecode
+{
+    SecdedStatus status = SecdedStatus::Clean;
+    std::uint64_t data = 0; //!< valid unless status == DetectedDouble
+};
+
+/** Encode @p data into a codeword. */
+SecdedWord secdedEncode(std::uint64_t data);
+
+/**
+ * Decode @p w: detect and correct a single flipped bit (data or
+ * check), detect any double flip. Triple and higher odd-weight error
+ * patterns alias to single-bit corrections — the standard SECDED
+ * limitation; the fault plans never inject them.
+ */
+SecdedDecode secdedDecode(const SecdedWord &w);
+
+/**
+ * Flip codeword bit @p bit in [0, 72): bits 0-63 address the data
+ * word, bits 64-71 the check byte. Test/injection helper.
+ */
+void secdedFlip(SecdedWord &w, std::uint32_t bit);
+
+} // namespace lacc
+
+#endif // LACC_FAULT_SECDED_HH

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/storage_model.hh"
+#include "fault/plan.hh"
 #include "harness/registry.hh"
 #include "net/factory.hh"
 #include "protocol/factory.hh"
@@ -1323,6 +1324,174 @@ litmusExperiment()
     return e;
 }
 
+// -------------------------------------------------------------------------
+// Resilience sweep: fault plans x rates x protocols x fabrics, every
+// run replayed through the invariant checker and the reference memory.
+// -------------------------------------------------------------------------
+
+/** Benchmarks the resilience sweep exercises: all litmus archetypes
+ *  (functional checks are always on for those) plus the two leading
+ *  synthetic benchmarks (which runBenchmark runs with functional
+ *  checks forced on whenever faults are active). */
+const std::vector<std::string> &
+faultBenches()
+{
+    static const std::vector<std::string> benches = [] {
+        std::vector<std::string> b = litmusNames();
+        const auto &synth = benchmarkNames();
+        for (std::size_t i = 0; i < synth.size() && i < 2; ++i)
+            b.push_back(synth[i]);
+        return b;
+    }();
+    return benches;
+}
+
+/** The injected fault intensities the resilience sweep covers. */
+const std::vector<double> &
+faultRates()
+{
+    static const std::vector<double> rates = {1e-4, 1e-3};
+    return rates;
+}
+
+/** The non-trivial shipped plans ("none" is covered by every other
+ *  experiment and by the golden-signature tests). */
+std::vector<std::string>
+activeFaultPlans()
+{
+    std::vector<std::string> plans;
+    for (const auto &name : faultNames())
+        if (name != "none")
+            plans.push_back(name);
+    return plans;
+}
+
+Experiment
+faultsExperiment()
+{
+    Experiment e;
+    e.name = "faults";
+    e.title = "Resilience: fault plans x rates x protocols x fabrics";
+    e.subtitle = "Lossy links + soft errors under SECDED; every run"
+                 " replayed through the invariant checker and the"
+                 " reference memory";
+    e.description =
+        "Extension: fault-injection sweep classifying corrected /"
+        " detected / silent outcomes";
+    e.makeJobs = [] {
+        std::vector<Job> jobs;
+        for (const auto &plan : activeFaultPlans())
+            for (const double rate : faultRates())
+                for (const char *proto : {"lacc", "fullmap"})
+                    for (const char *net : {"mesh", "xbar"})
+                        for (const auto &bench : faultBenches()) {
+                            SystemConfig cfg = defaultConfig();
+                            applyProtocolName(cfg, proto);
+                            applyNetworkName(cfg, net);
+                            applyFaultName(cfg, plan);
+                            cfg.faultRate = rate;
+                            char rate_s[32];
+                            std::snprintf(rate_s, sizeof(rate_s),
+                                          "%g", rate);
+                            jobs.push_back(
+                                {bench, cfg,
+                                 "faults " + plan + "@" + rate_s + " " +
+                                     proto + " " + net + " " + bench});
+                        }
+        return jobs;
+    };
+    e.report = [](const ReportContext &ctx) {
+        // Every cell aggregates the benches of one (plan, rate,
+        // protocol, network) point; walk ctx.results directly (not
+        // through Cursor) because classification needs the per-run
+        // failed/failReason fields, not just the RunResult.
+        std::size_t pos = 0;
+        Table t({"Plan", "Rate", "Protocol", "Network", "Recovered",
+                 "Detected", "Silent", "Retrans", "ECC fix", "Scrubs",
+                 "Status"});
+        Json points = Json::array();
+        std::uint64_t total_silent = 0;
+        std::uint64_t total_detected = 0;
+        for (const auto &plan : activeFaultPlans())
+            for (const double rate : faultRates())
+                for (const char *proto : {"lacc", "fullmap"})
+                    for (const char *net : {"mesh", "xbar"}) {
+                        std::uint64_t recovered = 0, detected = 0,
+                                      silent = 0, retrans = 0,
+                                      ecc_fix = 0, scrubs = 0;
+                        for (std::size_t bi = 0;
+                             bi < faultBenches().size(); ++bi) {
+                            if (pos >= ctx.results.size())
+                                panic("faults report ran out of sweep"
+                                      " results");
+                            const JobResult &jr = ctx.results[pos++];
+                            const FaultStats &f = jr.result.stats.faults;
+                            if (jr.failed) {
+                                // RunAbort: the fault was *detected*
+                                // (budget exhaustion, unrecoverable
+                                // double-bit) — honest, not silent.
+                                ++detected;
+                                continue;
+                            }
+                            // Completed runs must be functionally and
+                            // structurally clean; anything else is a
+                            // silent corruption that escaped recovery.
+                            if (jr.result.functionalErrors != 0 ||
+                                jr.result.verifyViolations != 0 ||
+                                f.silentCorruptions != 0)
+                                ++silent;
+                            else if (f.any())
+                                ++recovered;
+                            retrans += f.retransmits;
+                            ecc_fix += f.eccCorrected;
+                            scrubs += f.scrubs;
+                        }
+                        total_silent += silent;
+                        total_detected += detected;
+                        char rate_s[32];
+                        std::snprintf(rate_s, sizeof(rate_s), "%g",
+                                      rate);
+                        t.addRow({plan, rate_s, proto, net,
+                                  std::to_string(recovered),
+                                  std::to_string(detected),
+                                  std::to_string(silent),
+                                  std::to_string(retrans),
+                                  std::to_string(ecc_fix),
+                                  std::to_string(scrubs),
+                                  silent == 0 ? "ok" : "SILENT"});
+                        Json pt = Json::object();
+                        pt["plan"] = plan;
+                        pt["rate"] = rate;
+                        pt["protocol"] = proto;
+                        pt["network"] = net;
+                        pt["recovered"] = recovered;
+                        pt["detected"] = detected;
+                        pt["silent"] = silent;
+                        pt["retransmits"] = retrans;
+                        pt["ecc_corrected"] = ecc_fix;
+                        pt["scrubs"] = scrubs;
+                        points.push(std::move(pt));
+                    }
+        if (pos != ctx.results.size())
+            panic("faults report consumed %zu of %zu sweep results",
+                  pos, ctx.results.size());
+        t.print(ctx.out);
+        ctx.out << (total_silent == 0
+                        ? "\nZero silent corruptions: every injected"
+                          " fault was corrected, retransmitted, or"
+                          " detected\n"
+                        : "\nSILENT CORRUPTIONS DETECTED — a fault"
+                          " escaped the recovery paths\n");
+        Json fig = Json::object();
+        fig["table"] = t.toJson();
+        fig["points"] = std::move(points);
+        fig["silent_corruptions"] = total_silent;
+        fig["detected_fatal"] = total_detected;
+        return fig;
+    };
+    return e;
+}
+
 } // namespace
 
 void
@@ -1344,6 +1513,7 @@ registerBuiltinExperiments(Registry &r)
     r.add(scalingExperiment());
     r.add(networkExperiment());
     r.add(litmusExperiment());
+    r.add(faultsExperiment());
 }
 
 } // namespace lacc::harness

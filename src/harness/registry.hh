@@ -46,6 +46,14 @@ struct JobResult
     double wallSeconds = 0.0;
     /** Times the job was simulated (SweepOptions::repeat). */
     std::uint32_t repeats = 1;
+    /**
+     * The run aborted (RunAbort: watchdog timeout or an unrecoverable
+     * injected fault). `result` holds defaults; the sink records the
+     * run with "status": "failed" and the reason, and the JSON
+     * checkers skip its per-run validations.
+     */
+    bool failed = false;
+    std::string failReason; //!< "<tag>: <detail>" when failed
 
     /**
      * Simulated operations per wall second over this job's repeats

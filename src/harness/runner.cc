@@ -6,6 +6,8 @@
 #include <cstdio>
 #include <thread>
 
+#include "sim/abort.hh"
+
 namespace lacc::harness {
 
 namespace {
@@ -61,11 +63,28 @@ runSweep(const std::vector<Job> &jobs, const SweepOptions &opts)
             // Repeats are bit-identical (deterministic simulation);
             // keep the first result, accumulate only wall clock.
             const auto start = Clock::now();
-            RunResult r = runBenchmark(job.bench, job.cfg, scale);
-            for (unsigned rep = 1; rep < repeat; ++rep)
-                runBenchmark(job.bench, job.cfg, scale);
+            RunResult r;
+            bool failed = false;
+            std::string reason;
+            try {
+                r = runBenchmark(job.bench, job.cfg, scale,
+                                 opts.timeoutMs);
+                for (unsigned rep = 1; rep < repeat; ++rep)
+                    runBenchmark(job.bench, job.cfg, scale,
+                                 opts.timeoutMs);
+            } catch (const RunAbort &a) {
+                // One doomed cell (watchdog timeout, unrecoverable
+                // injected fault) must not kill the sweep: record it
+                // as failed and keep going.
+                failed = true;
+                reason = std::string(a.tag()) + ": " + a.what();
+                r = RunResult{};
+                if (opts.progress)
+                    std::fprintf(stderr, "[bench] %s FAILED (%s)\n",
+                                 job.label.c_str(), reason.c_str());
+            }
             out[i] = JobResult{job, std::move(r), secondsSince(start),
-                               repeat};
+                               repeat, failed, std::move(reason)};
         }
     };
 

@@ -62,6 +62,12 @@ struct SweepOptions
     /** Emit a "[bench] <label>" line to stderr as each job starts. */
     bool progress = true;
     /**
+     * Per-run wall-clock watchdog in milliseconds (maps onto
+     * `lacc_bench --timeout-ms`); <= 0 disarms. An expired run is
+     * recorded as failed ("timeout"), not fatal to the sweep.
+     */
+    double timeoutMs = 0.0;
+    /**
      * Record per-subsystem exclusive cycle shares (sim/profiler.hh)
      * over each experiment's sweep and surface them in the text
      * output and bench JSON (maps onto `lacc_bench --profile`).

@@ -5,6 +5,7 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <iterator>
 
 #include "sim/log.hh"
 #include "system/report.hh"
@@ -121,6 +122,12 @@ documentFor(const ExperimentOutcome &outcome)
         run["sim_ops"] = jr.result.simOps;
         run["wall_ms"] = jr.wallSeconds * 1e3;
         run["ops_per_sec"] = jr.opsPerSecond();
+        // Schema v3: aborted runs (watchdog timeout, unrecoverable
+        // injected fault) keep their slot with a default result so
+        // grid order survives; checkers skip their per-run checks.
+        run["status"] = jr.failed ? "failed" : "ok";
+        if (jr.failed)
+            run["fail_reason"] = jr.failReason;
         run["config"] = toJson(jr.job.cfg);
         run["result"] = toJson(jr.result);
         runs.push(std::move(run));
@@ -148,6 +155,47 @@ writeJsonFile(const std::string &dir, const std::string &name,
     os.flush();
     if (!os)
         fatal("short write to '%s'", path.c_str());
+}
+
+bool
+validArtifactExists(const std::string &dir, const Experiment &exp)
+{
+    namespace fs = std::filesystem;
+    const fs::path path =
+        fs::path(dir) / ("BENCH_" + exp.name + ".json");
+    std::ifstream is(path);
+    if (!is)
+        return false;
+    std::string text((std::istreambuf_iterator<char>(is)),
+                     std::istreambuf_iterator<char>());
+    if (!is.good() && !is.eof())
+        return false;
+
+    std::string error;
+    const Json doc = Json::parse(text, &error);
+    if (!error.empty() || !doc.isObject())
+        return false;
+    const Json *schema = doc.find("schema_version");
+    const Json *name = doc.find("experiment");
+    const Json *jobs = doc.find("jobs");
+    const Json *runs = doc.find("runs");
+    if (schema == nullptr || name == nullptr || jobs == nullptr ||
+        runs == nullptr)
+        return false;
+    if (!schema->isNumber() || !name->isString() ||
+        !jobs->isNumber() || !runs->isArray())
+        return false;
+    if (schema->asDouble() !=
+        static_cast<double>(kBenchJsonSchemaVersion))
+        return false;
+    if (name->asString() != exp.name)
+        return false;
+    // A complete sweep wrote exactly one run record per job: a
+    // truncated runs array (killed mid-write before the fatal() in
+    // writeJsonFile could fire, or a partial copy) fails here.
+    const double jobs_n = jobs->asDouble();
+    return static_cast<double>(runs->elements().size()) == jobs_n &&
+           static_cast<double>(exp.makeJobs().size()) == jobs_n;
 }
 
 ExperimentOutcome

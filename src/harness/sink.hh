@@ -75,6 +75,17 @@ ExperimentOutcome runExperiment(const Experiment &exp,
                                 std::ostream &text_out);
 
 /**
+ * Crash-safe resume probe (`lacc_bench --resume`): does
+ * `<dir>/BENCH_<name>.json` already hold a complete, current
+ * artifact for @p exp? True only when the file parses as JSON, its
+ * schema_version matches kBenchJsonSchemaVersion, its experiment
+ * field is @p exp's name, and the runs array length equals the jobs
+ * count — so corrupt, truncated, or stale-schema artifacts are
+ * re-run rather than trusted.
+ */
+bool validArtifactExists(const std::string &dir, const Experiment &exp);
+
+/**
  * main() body for the thin legacy bench binaries: serial sweep, text
  * to stdout, no JSON. @return process exit code.
  */

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "fault/injector.hh"
 #include "sim/log.hh"
 #include "sim/profiler.hh"
 
@@ -122,9 +123,18 @@ NetworkModel::unicast(CoreId src, CoreId dst, std::uint32_t flits,
             t = traverseLink(seq[i], t, flits);
     } else {
         // No-contention fast path: per-link load still counts, but
-        // the arrival is analytic.
-        for (std::uint32_t i = 0; i < r.hops; ++i)
+        // the arrival is analytic. Fault rolls use the analytic
+        // per-hop head times so the schedule matches the contention
+        // path's event identity scheme.
+        for (std::uint32_t i = 0; i < r.hops; ++i) {
+            if (fault_ != nullptr)
+                rollLinkFault(seq[i],
+                              depart +
+                                  static_cast<Cycle>(i) * hopLatency_ +
+                                  1,
+                              flits);
             linkFlits_[seq[i]] += flits;
+        }
         t = depart + static_cast<Cycle>(r.hops) * hopLatency_;
     }
     const std::uint64_t fh = static_cast<std::uint64_t>(flits) * r.hops;
@@ -169,6 +179,13 @@ NetworkModel::broadcast(CoreId src, std::uint32_t flits, Cycle depart,
     } else {
         for (std::uint32_t i = 0; i < n; ++i) {
             const TreeHop &h = hops[i];
+            if (fault_ != nullptr)
+                rollLinkFault(h.link,
+                              headScratch_[h.parent] +
+                                  static_cast<Cycle>(h.delayFactor) *
+                                      flits +
+                                  1,
+                              flits);
             linkFlits_[h.link] += flits;
             const Cycle head =
                 headScratch_[h.parent] +
@@ -188,6 +205,17 @@ NetworkModel::broadcast(CoreId src, std::uint32_t flits, Cycle depart,
     energy_.addRouter(static_cast<std::uint64_t>(flits) *
                       bmeta_.routerEnergyFactor);
     return max_arrival;
+}
+
+void
+NetworkModel::rollLinkFault(std::uint32_t link, Cycle t,
+                            std::uint32_t flits)
+{
+    const LinkFault f = fault_->rollLink(link, t, flits);
+    if (f == LinkFault::None || faultPending_)
+        return; // first fault of the route wins
+    faultPending_ = true;
+    faultDrop_ = f == LinkFault::Drop;
 }
 
 void

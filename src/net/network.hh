@@ -62,6 +62,8 @@
 
 namespace lacc {
 
+class FaultInjector;
+
 /**
  * Abstract interconnect shared by all tiles of a Multicore. Concrete
  * topologies enumerate their routing (buildRoute) and broadcast trees
@@ -222,6 +224,32 @@ class NetworkModel
      */
     std::size_t tableFootprintBytes() const;
 
+    /**
+     * Attach (or detach, with nullptr) the lossy-link fault process
+     * (fault/injector.hh). Wired by the Multicore when a non-none
+     * FaultPlan with active link faults is selected; the detached
+     * state costs exactly one untaken branch per link traversal
+     * (pinned by bench_micro).
+     */
+    void setFaultInjector(FaultInjector *fi) { fault_ = fi; }
+
+    /**
+     * Latched fault of the most recent unicast/broadcast, cleared by
+     * reading. @p was_drop distinguishes a lost message (source
+     * timeout) from a corrupted one (destination NACK). The message
+     * transport consumes this after every send to drive its
+     * retransmit path. @return false when the traversal was clean.
+     */
+    bool
+    consumeTraversalFault(bool &was_drop)
+    {
+        if (!faultPending_)
+            return false;
+        was_drop = faultDrop_;
+        faultPending_ = false;
+        return true;
+    }
+
   protected:
     /**
      * Route one message across a single directed link, applying the
@@ -241,6 +269,10 @@ class NetworkModel
         // at t + 1; with link-only contention it may have to queue
         // behind the link's undrained backlog (see the file header).
         Cycle head_at_link = t + 1;
+        // Fault hook: the entire disabled cost is this one untaken
+        // branch; the roll itself is out-of-line.
+        if (fault_ != nullptr)
+            rollLinkFault(link, head_at_link, flits);
         if (modelContention_) {
             LinkState &ls = links_[link];
             const Cycle w = head_at_link / kWindow;
@@ -299,12 +331,29 @@ class NetworkModel
      */
     void finalizeTables();
 
+    /**
+     * Roll the seeded per-link Bernoulli fault process for one
+     * traversal and latch the outcome for consumeTraversalFault().
+     * The first fault of a multi-link route wins (the message dies at
+     * the first bad link; later links still charge flits/energy — a
+     * deliberate upper bound that keeps the table-driven batched
+     * accounting intact).
+     */
+    void rollLinkFault(std::uint32_t link, Cycle t,
+                       std::uint32_t flits);
+
     std::uint32_t numCores_;
     std::uint32_t hopLatency_;
     bool modelContention_;
 
     EnergyModel &energy_;
     NetworkStats stats_;
+
+    // Fault-injection hook state (serialized contexts only: every
+    // traversal happens on the engine's drain thread).
+    FaultInjector *fault_ = nullptr;
+    bool faultPending_ = false;
+    bool faultDrop_ = false;
 
   private:
     /** One (src, dst) route: a span of linkSeq_ plus its length. */

@@ -4,6 +4,7 @@
 
 #include "dram/dram.hh"
 #include "energy/model.hh"
+#include "fault/injector.hh"
 #include "rnuca/page_table.hh"
 #include "rnuca/placement.hh"
 #include "sim/config.hh"
@@ -356,6 +357,118 @@ BaseDirectoryController::l2FindOrFill(CoreId home, LineAddr line,
 }
 
 void
+BaseDirectoryController::applySoftFaults(CoreId c, CoreId home,
+                                         LineAddr line,
+                                         L2Cache::Entry entry, Cycle t,
+                                         Cycle &corr, Cycle &scrub)
+{
+    FaultInjector &inj = *ctx_.fault;
+    const FaultPlan &plan = inj.plan();
+    const std::uint32_t line_bits = ctx_.cfg.lineSize * 8;
+
+    // ---- Requester's resident L1 image (if any) -----------------------
+    Tile &rt = *ctx_.tiles[c];
+    L1Cache::Entry l1e = rt.l1d.find(line);
+    if (!l1e)
+        l1e = rt.l1i.find(line);
+    if (l1e && l1e.valid()) {
+        const SoftFault f = inj.rollSoft(FaultUnit::L1Data, line, t);
+        if (f != SoftFault::None && plan.protectL1) {
+            ctx_.energy.addL1dAccess();
+            if (f == SoftFault::Single) {
+                inj.noteCorrected();
+                corr += plan.eccCorrectLatency;
+            } else if (l1e.meta().state == L1State::Modified) {
+                // The only up-to-date copy is gone.
+                inj.noteDetected();
+                inj.unrecoverable("L1 Modified-line double-bit", line);
+            } else {
+                // Clean copy: discard and refill from the home slice,
+                // which this very transaction has open.
+                inj.noteDetected();
+                inj.noteScrub();
+                l1e.fillWords(entry.words());
+                scrub += ctx_.cfg.l2Latency;
+                ctx_.energy.addL2Line();
+            }
+        } else if (f != SoftFault::None) {
+            // Unprotected: a real flip the functional oracle must
+            // catch when the word is next read or written back.
+            const std::uint32_t b = inj.strikeBit(line, t, line_bits);
+            l1e.words()[b / 64] ^= std::uint64_t{1} << (b % 64);
+            inj.noteSilent();
+        }
+    }
+
+    // ---- Home slice's L2 line data ------------------------------------
+    {
+        const SoftFault f = inj.rollSoft(FaultUnit::L2Data, line, t);
+        if (f != SoftFault::None && plan.protectL2) {
+            if (f == SoftFault::Single) {
+                inj.noteCorrected();
+                corr += plan.eccCorrectLatency;
+                ctx_.energy.addL2Word();
+            } else if (entry.meta().dirty) {
+                // DRAM has a stale image; the dirty data is lost.
+                inj.noteDetected();
+                inj.unrecoverable("L2 dirty-line double-bit", line);
+            } else {
+                // Clean line: scrub from DRAM through the line's
+                // memory controller (same traffic as an L2 miss fill;
+                // the data already matches DRAM, so no refill write to
+                // the functional image is needed).
+                inj.noteDetected();
+                inj.noteScrub();
+                const CoreId ctrl = ctx_.dram.controllerTile(line);
+                Message fetch{MsgKind::DramFetchReq, home, ctrl,
+                              MsgPayload::None};
+                const Cycle t_req = ctx_.net.send(fetch, t);
+                const Cycle t_data = ctx_.dram.access(line, t_req);
+                Message data{MsgKind::DramFetchData, ctrl, home,
+                             MsgPayload::Line};
+                const Cycle t_back = ctx_.net.send(data, t_data);
+                scrub += t_back - t;
+                ++ctx_.stats.protocol.dramFetches;
+                ctx_.energy.addL2Line();
+            }
+        } else if (f != SoftFault::None) {
+            const std::uint32_t b = inj.strikeBit(line, t, line_bits);
+            entry.words()[b / 64] ^= std::uint64_t{1} << (b % 64);
+            inj.noteSilent();
+        }
+    }
+
+    // ---- Directory metadata (SharerList / L2Meta) ---------------------
+    {
+        const SoftFault f = inj.rollSoft(FaultUnit::DirMeta, line, t);
+        if (f != SoftFault::None && plan.protectDir) {
+            ctx_.energy.addDirAccess();
+            if (f == SoftFault::Single) {
+                inj.noteCorrected();
+                corr += plan.eccCorrectLatency;
+            } else {
+                // Sharer tracking cannot be rebuilt from any other
+                // on-chip structure.
+                inj.noteDetected();
+                inj.unrecoverable("directory metadata double-bit",
+                                  line);
+            }
+        } else if (f != SoftFault::None) {
+            // Unprotected: lose one tracked sharer for real — the
+            // SharerList diverges from the holder oracle, which the
+            // invariant checker (verify/invariants.hh) reports.
+            const HolderVec &h = entry.meta().holders;
+            if (h.size() > 0) {
+                const CoreId victim =
+                    h[inj.strikeBit(line, t, h.size())];
+                entry.meta().sharers.remove(victim);
+                inj.noteSilent();
+            }
+        }
+    }
+}
+
+void
 BaseDirectoryController::request(CoreId c, Addr addr, bool is_write,
                                  bool is_ifetch, bool upgrade,
                                  const L1SetHint &hint)
@@ -394,6 +507,18 @@ BaseDirectoryController::request(CoreId c, Addr addr, bool is_write,
         l2FindOrFill(home, line, t1, t_ready, waiting, offchip);
     entry.setLastAccess(t_ready);
     ctx_.energy.addDirAccess();
+
+    if (ctx_.fault != nullptr) {
+        // Soft-error strikes against the structures this transaction
+        // touches. Corrections extend the per-line waiting window,
+        // scrub refetches bill as off-chip time; bumping t_ready keeps
+        // the telescoped latency attribution below exact.
+        Cycle corr = 0, scrub = 0;
+        applySoftFaults(c, home, line, entry, t_ready, corr, scrub);
+        waiting += corr;
+        offchip += scrub;
+        t_ready += corr + scrub;
+    }
 
     const Mode mode = upgrade
                           ? Mode::Private

@@ -126,6 +126,22 @@ class BaseDirectoryController : public DirectoryController
      * keeps an S copy. @return ack time. */
     Cycle syncWriteback(CoreId home, L2Cache::Entry entry, Cycle t);
 
+    /**
+     * Soft-error hook (fault/injector.hh), called once per directory
+     * transaction when a fault plan is armed: rolls one strike each
+     * against the requester's resident L1 copy, the home entry's L2
+     * data, and the directory metadata. Protected structures recover
+     * with honest charges — @p corr accumulates SECDED correction
+     * latency (billed as L2 waiting), @p scrub accumulates
+     * refetch-from-next-level latency (billed as off-chip) — while
+     * unprotected structures suffer a *real* corruption for the
+     * verification oracles to catch. Detected-but-unrecoverable
+     * strikes throw RunAbort.
+     */
+    void applySoftFaults(CoreId c, CoreId home, LineAddr line,
+                         L2Cache::Entry entry, Cycle t, Cycle &corr,
+                         Cycle &scrub);
+
     /** Evict an L2 line: back-invalidate holders, write back. */
     void l2Evict(CoreId home, L2Cache::Entry victim, Cycle t);
 

@@ -27,6 +27,8 @@
 
 namespace lacc {
 
+class FaultInjector;
+
 /** Coherence message kinds exchanged by the controllers. */
 enum class MsgKind : std::uint8_t {
     // ---- Core -> home-directory requests --------------------------------
@@ -55,6 +57,9 @@ enum class MsgKind : std::uint8_t {
     // ---- Synchronization (message-based barrier) ------------------------
     BarrierArrive,
     BarrierRelease,
+
+    // ---- Transport-level recovery (fault/injector.hh) --------------------
+    Nack, //!< CRC-failure reject; sender retransmits on receipt
 };
 
 /** Payload carried on top of the header flits. */
@@ -81,6 +86,14 @@ struct Message
 
     std::uint32_t flits = 0; //!< header + payload; set by the transport
     std::uint32_t hops = 0;  //!< route length; set by the transport
+
+    /**
+     * Transport-assigned sequence id, used by the retransmit machinery
+     * to label resends of the same logical message. Pure modeling
+     * metadata: never an input to a fault roll, so the schedule stays
+     * independent of send ordering.
+     */
+    std::uint64_t seq = 0;
 };
 
 /**
@@ -117,13 +130,19 @@ class MessageTransport
     /**
      * Send @p m as a unicast departing at @p depart; fills in flit and
      * hop counts. @return arrival time of the last flit at m.dst.
+     *
+     * Under FaultPlan none the entire fault-layer cost is the one
+     * untaken branch below (pinned by bench_micro); with faults armed
+     * the out-of-line retransmit path takes over.
      */
     Cycle
     send(Message &m, Cycle depart)
     {
         m.flits = flitsOf(m);
         m.hops = net_.hopCount(m.src, m.dst);
-        return net_.unicast(m.src, m.dst, m.flits, depart);
+        if (fault_ == nullptr)
+            return net_.unicast(m.src, m.dst, m.flits, depart);
+        return sendWithRetry(m, depart);
     }
 
     /**
@@ -138,14 +157,25 @@ class MessageTransport
     {
         m.flits = flitsOf(m);
         m.hops = 0; // delivery tree: no single route length
-        return net_.broadcast(m.src, m.flits, depart, arrivals);
+        if (fault_ == nullptr)
+            return net_.broadcast(m.src, m.flits, depart, arrivals);
+        return broadcastWithRetry(m, depart, arrivals);
     }
+
+    /** Arm the lossy-link recovery path (Multicore wiring). */
+    void setFaultInjector(FaultInjector *fi) { fault_ = fi; }
 
     NetworkModel &network() { return net_; }
 
   private:
+    Cycle sendWithRetry(Message &m, Cycle depart);
+    Cycle broadcastWithRetry(Message &m, Cycle depart,
+                             std::vector<Cycle> &arrivals);
+
     const SystemConfig &cfg_;
     NetworkModel &net_;
+    FaultInjector *fault_ = nullptr; //!< null under FaultPlan none
+    std::uint64_t seq_ = 0;          //!< next Message::seq to assign
 };
 
 } // namespace lacc

@@ -94,6 +94,13 @@ struct ProtocolContext
     SystemStats &stats;
     FunctionalMemory &mem;
     CoreTouchObserver *touch = nullptr;
+
+    /**
+     * Armed fault injector (fault/injector.hh), or null under
+     * FaultPlan none — the soft-error hook in the directory
+     * transaction path costs exactly one null test when disabled.
+     */
+    FaultInjector *fault = nullptr;
 };
 
 /**

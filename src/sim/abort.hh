@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Structured run-abort exception for recoverable whole-run failures.
+ *
+ * panic()/fatal() (sim/log.hh) terminate the process — right for
+ * internal bugs and bad user configuration, wrong for conditions the
+ * bench harness must survive per run: a fault plan exhausting its
+ * retransmit budget, an uncorrectable ECC strike, or the sweep
+ * watchdog firing. Those paths throw RunAbort instead; the sweep
+ * runner (harness/runner.cc) catches it and records the run as
+ * "failed" with the reason, so one doomed cell never kills a sweep.
+ * Outside the harness the exception propagates uncaught and
+ * std::terminate gives panic-like behavior (nothing hangs silently).
+ */
+
+#ifndef LACC_SIM_ABORT_HH
+#define LACC_SIM_ABORT_HH
+
+#include <stdexcept>
+#include <string>
+
+namespace lacc {
+
+/** Why a run was aborted (recorded in BENCH_*.json failure records). */
+enum class AbortKind : std::uint8_t {
+    Timeout,    //!< the per-run watchdog deadline expired
+    FaultFatal, //!< a detected-but-unrecoverable injected fault
+};
+
+/** A whole-run failure the harness records instead of dying on. */
+class RunAbort : public std::runtime_error
+{
+  public:
+    RunAbort(AbortKind kind, const std::string &what)
+        : std::runtime_error(what), kind_(kind)
+    {}
+
+    AbortKind kind() const { return kind_; }
+
+    /** Short machine-readable tag for JSON ("timeout" / "fault"). */
+    const char *
+    tag() const
+    {
+        return kind_ == AbortKind::Timeout ? "timeout" : "fault";
+    }
+
+  private:
+    AbortKind kind_;
+};
+
+} // namespace lacc
+
+#endif // LACC_SIM_ABORT_HH

@@ -60,6 +60,18 @@ engineKindName(EngineKind k)
     }
 }
 
+const char *
+faultKindName(FaultKind k)
+{
+    switch (k) {
+      case FaultKind::None: return "none";
+      case FaultKind::Links: return "links";
+      case FaultKind::Soft: return "soft";
+      case FaultKind::Storm: return "storm";
+      default: return "?";
+    }
+}
+
 std::uint32_t
 SystemConfig::ratForLevel(std::uint32_t level) const
 {
@@ -104,6 +116,8 @@ SystemConfig::validate() const
               numCores);
     if (simThreads == 0 || simThreads > 1024)
         fatal("simThreads (%u) must be in [1, 1024]", simThreads);
+    if (!(faultRate >= 0.0) || faultRate > 1.0)
+        fatal("faultRate (%g) must be in [0, 1]", faultRate);
 }
 
 std::string
@@ -129,6 +143,10 @@ SystemConfig::summary() const
     if (engineKind != EngineKind::Serial)
         os << ", engine=" << engineKindName(engineKind) << "x"
            << simThreads;
+    // Fault-free runs keep the pre-fault banner byte-identical.
+    if (faultKind != FaultKind::None)
+        os << ", faults=" << faultKindName(faultKind) << "@"
+           << faultRate;
     return os.str();
 }
 

@@ -62,12 +62,25 @@ enum class EngineKind : std::uint8_t {
     Sharded,
 };
 
+/** Fault-injection plan (fault/plan.hh resolves the rates). */
+enum class FaultKind : std::uint8_t {
+    /** No injection; provably one untaken branch on the hot path. */
+    None,
+    /** Lossy links: seeded per-link drops/corruptions + retransmit. */
+    Links,
+    /** SRAM soft errors in L1/L2 data and directory metadata + ECC. */
+    Soft,
+    /** Links and soft errors together at elevated rates. */
+    Storm,
+};
+
 /** Human-readable names for the enums above. */
 const char *classifierKindName(ClassifierKind k);
 const char *protocolKindName(ProtocolKind k);
 const char *directoryKindName(DirectoryKind k);
 const char *networkKindName(NetworkKind k);
 const char *engineKindName(EngineKind k);
+const char *faultKindName(FaultKind k);
 
 /**
  * All architectural and protocol parameters. Defaults reproduce Table 1
@@ -142,6 +155,16 @@ struct SystemConfig
      * for any value — this knob trades threads for wall-clock only.
      */
     std::uint32_t simThreads = 1;
+
+    // ---- Fault injection (fault/plan.hh) ------------------------------
+    FaultKind faultKind = FaultKind::None;
+    /**
+     * Base per-event fault probability; every plan scales its drop/
+     * corrupt/soft-error rates linearly from this one knob.
+     */
+    double faultRate = 1e-3;
+    /** Fault-schedule seed, independent of the workload seed. */
+    std::uint64_t faultSeed = 0xFA17;
 
     // ---- Workload / misc ----------------------------------------------
     std::uint64_t seed = 42;           //!< global workload seed

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "fault/plan.hh"
 #include "net/factory.hh"
 #include "protocol/factory.hh"
 #include "sim/config.hh"
@@ -21,6 +22,14 @@ ConfigOverrides::validateOrReport() const
     if (!network.empty() &&
         !registry::validateName("network", network, networkNames()))
         ok = false;
+    if (!faults.empty() &&
+        !registry::validateName("fault plan", faults, faultNames()))
+        ok = false;
+    if (faultRate >= 0.0 && faultRate > 1.0) {
+        std::fprintf(stderr,
+                     "--fault-rate %g out of range [0, 1]\n", faultRate);
+        ok = false;
+    }
     return ok;
 }
 
@@ -36,6 +45,12 @@ ConfigOverrides::apply(SystemConfig &cfg) const
         cfg.engineKind =
             simThreads > 1 ? EngineKind::Sharded : EngineKind::Serial;
     }
+    if (!faults.empty())
+        applyFaultName(cfg, faults);
+    if (faultRate >= 0.0)
+        cfg.faultRate = faultRate;
+    if (faultSeedSet)
+        cfg.faultSeed = faultSeed;
 }
 
 void
@@ -64,6 +79,7 @@ ConfigOverrides::warnIfOverridingSweep(
     };
     warn_dim("protocol", protocol, protocolNameFor);
     warn_dim("network", network, networkNameFor);
+    warn_dim("faults", faults, faultNameFor);
 }
 
 unsigned

@@ -23,6 +23,10 @@ struct ConfigOverrides
 {
     std::string protocol; //!< coherence protocol name; empty = keep
     std::string network;  //!< interconnect topology name; empty = keep
+    std::string faults;   //!< fault-plan name; empty = keep
+    double faultRate = -1.0;       //!< base fault rate; < 0 = keep
+    bool faultSeedSet = false;     //!< faultSeed holds a --fault-seed
+    std::uint64_t faultSeed = 0;   //!< fault-schedule seed override
     /**
      * Intra-simulation worker threads; 0 = keep the config's engine.
      * A value > 1 selects the sharded engine, 1 forces serial —
@@ -36,7 +40,9 @@ struct ConfigOverrides
     bool
     any() const
     {
-        return !protocol.empty() || !network.empty() || simThreads != 0;
+        return !protocol.empty() || !network.empty() ||
+               simThreads != 0 || !faults.empty() || faultRate >= 0.0 ||
+               faultSeedSet;
     }
 
     /**

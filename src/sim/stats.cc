@@ -135,6 +135,21 @@ NetworkStats::operator+=(const NetworkStats &o)
     return *this;
 }
 
+FaultStats &
+FaultStats::operator+=(const FaultStats &o)
+{
+    linkDrops += o.linkDrops;
+    linkCorruptions += o.linkCorruptions;
+    retransmits += o.retransmits;
+    nacks += o.nacks;
+    softErrors += o.softErrors;
+    eccCorrected += o.eccCorrected;
+    eccDetected += o.eccDetected;
+    scrubs += o.scrubs;
+    silentCorruptions += o.silentCorruptions;
+    return *this;
+}
+
 ProtocolStats &
 ProtocolStats::operator+=(const ProtocolStats &o)
 {

@@ -140,6 +140,35 @@ struct NetworkStats
     NetworkStats &operator+=(const NetworkStats &o);
 };
 
+/**
+ * Fault-injection and recovery counters (fault/injector.hh). All zero
+ * when FaultPlan none is selected; deliberately excluded from
+ * statsSignature() so fault-free golden digests stay bit-identical to
+ * the pre-fault ones.
+ */
+struct FaultStats
+{
+    std::uint64_t linkDrops = 0;         //!< messages lost in flight
+    std::uint64_t linkCorruptions = 0;   //!< messages mangled in flight
+    std::uint64_t retransmits = 0;       //!< recovery resends
+    std::uint64_t nacks = 0;             //!< CRC-failure NACKs sent
+    std::uint64_t softErrors = 0;        //!< bit-flip strikes injected
+    std::uint64_t eccCorrected = 0;      //!< SECDED single-bit fixes
+    std::uint64_t eccDetected = 0;       //!< SECDED double-bit detects
+    std::uint64_t scrubs = 0;            //!< scrub-from-DRAM refetches
+    std::uint64_t silentCorruptions = 0; //!< unprotected real bit flips
+
+    /** Any fault activity at all? */
+    bool any() const
+    {
+        return (linkDrops | linkCorruptions | retransmits | nacks |
+                softErrors | eccCorrected | eccDetected | scrubs |
+                silentCorruptions) != 0;
+    }
+
+    FaultStats &operator+=(const FaultStats &o);
+};
+
 /** Protocol-level event counters. */
 struct ProtocolStats
 {
@@ -187,6 +216,7 @@ struct SystemStats
     CacheStats l2;                 //!< aggregated over slices
     NetworkStats network;
     ProtocolStats protocol;
+    FaultStats faults;             //!< all-zero under FaultPlan none
     EnergyBreakdown energy;
     UtilizationHistogram evictionUtil;      //!< Fig 2
     UtilizationHistogram invalidationUtil;  //!< Fig 1

@@ -20,6 +20,8 @@ SerialEngine::run(Workload &workload)
         onSchedule(static_cast<CoreId>(c), 0);
 
     while (!queue_.empty()) {
+        if (m_.watchdogExpired())
+            return; // Multicore::run turns this into RunAbort(Timeout)
         const auto [t, c] = queue_.top();
         queue_.pop();
         Tile &tl = *m_.tiles_[c];

@@ -6,6 +6,7 @@
 
 #include "sim/log.hh"
 #include "system/multicore.hh"
+#include "verify/invariants.hh"
 #include "workload/litmus.hh"
 #include "workload/suite.hh"
 
@@ -47,7 +48,7 @@ opScaleFromEnv()
 namespace {
 
 RunResult
-collectResult(const Multicore &system, const SystemStats &stats)
+collectResult(Multicore &system, const SystemStats &stats)
 {
     RunResult r;
     r.stats = stats;
@@ -56,6 +57,12 @@ collectResult(const Multicore &system, const SystemStats &stats)
     r.functionalErrors = system.functionalErrors();
     for (const auto &c : stats.perCore)
         r.simOps += c.instructions;
+    // Fault-injected runs replay the full invariant sweep: an
+    // unprotected strike that slipped past the inline read checks
+    // (e.g. corrupted sharer tracking) must still be counted, so
+    // "zero silent corruption" is a checked claim, not an assumption.
+    if (system.config().faultKind != FaultKind::None)
+        r.verifyViolations = verify::checkAll(system).size();
     return r;
 }
 
@@ -63,10 +70,11 @@ collectResult(const Multicore &system, const SystemStats &stats)
 
 RunResult
 runBenchmark(const std::string &bench, const SystemConfig &cfg,
-             double op_scale)
+             double op_scale, double timeout_ms)
 {
     if (op_scale <= 0.0)
         op_scale = opScaleFromEnv();
+    const bool faults = cfg.faultKind != FaultKind::None;
 
     if (isLitmus(bench)) {
         // Litmus workloads are correctness probes: every read stays
@@ -74,13 +82,17 @@ runBenchmark(const std::string &bench, const SystemConfig &cfg,
         // over them doubles as a coherence verification run.
         TraceWorkload workload = makeLitmus(bench, cfg, op_scale);
         Multicore system(cfg);
+        system.setTimeoutMs(timeout_ms);
         const SystemStats &stats = system.run(workload);
         return collectResult(system, stats);
     }
 
     auto workload = makeBenchmark(bench, cfg, op_scale);
     Multicore system(cfg);
-    system.setFunctionalChecks(false);
+    system.setTimeoutMs(timeout_ms);
+    // Fault runs keep the functional oracle armed: silent corruption
+    // of unprotected structures must be *observed*, not assumed away.
+    system.setFunctionalChecks(faults);
     const SystemStats &stats = system.run(*workload);
     return collectResult(system, stats);
 }

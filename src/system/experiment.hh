@@ -30,6 +30,13 @@ struct RunResult
      * (bench, cfg, scale), unlike wall clock.
      */
     std::uint64_t simOps = 0;
+    /**
+     * Coherence/memory invariant violations found by the post-run
+     * verify::checkAll sweep. Only populated for fault-injected runs
+     * (schema v3); silent-corruption classification in the faults
+     * experiment requires this and functionalErrors to both be zero.
+     */
+    std::uint64_t verifyViolations = 0;
 };
 
 /**
@@ -47,14 +54,20 @@ double opScaleFromEnv();
 /**
  * Run a named benchmark (workload/suite.hh) under @p cfg.
  * Functional checking is disabled for speed (data still moves through
- * the protocol; correctness is covered by the test suite).
+ * the protocol; correctness is covered by the test suite) — except
+ * for fault-injected runs, which keep every oracle armed and replay
+ * verify::checkAll afterwards so silent corruption cannot hide.
  *
- * @param bench    benchmark name
- * @param cfg      system configuration
- * @param op_scale per-phase access multiplier; <= 0 reads LACC_SCALE
+ * Throws RunAbort (sim/abort.hh) on watchdog expiry or an
+ * unrecoverable injected fault; the harness runner catches it.
+ *
+ * @param bench      benchmark name
+ * @param cfg        system configuration
+ * @param op_scale   per-phase access multiplier; <= 0 reads LACC_SCALE
+ * @param timeout_ms per-run wall-clock watchdog; <= 0 disarms
  */
 RunResult runBenchmark(const std::string &bench, const SystemConfig &cfg,
-                       double op_scale = -1.0);
+                       double op_scale = -1.0, double timeout_ms = 0.0);
 
 } // namespace lacc
 

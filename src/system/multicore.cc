@@ -1,7 +1,9 @@
 #include "system/multicore.hh"
 
 #include <algorithm>
+#include <cstdio>
 
+#include "sim/abort.hh"
 #include "sim/log.hh"
 
 namespace lacc {
@@ -34,13 +36,22 @@ Multicore::Multicore(const SystemConfig &cfg)
                                                 cfg_));
     stats_.perCore.resize(cfg_.numCores);
     mem_.setCores(cfg_.numCores);
+    // Fault injector before the protocol: the network, the transport,
+    // and the directory controllers each hold a pointer (null under
+    // FaultPlan none, keeping every hook a single untaken branch).
+    if (cfg_.faultKind != FaultKind::None) {
+        fault_ = std::make_unique<FaultInjector>(cfg_);
+        network_->setFaultInjector(fault_.get());
+        net_.setFaultInjector(fault_.get());
+    }
     // Engine before protocol: the controllers copy the context (and
     // with it the engine's touch-observer pointer) by value.
     engine_ = makeEngine(cfg_, *this);
     protocol_ = makeProtocol(
         cfg_, ProtocolContext{cfg_, addr_, tiles_, net_, energy_,
                               dram_, pageTable_, placement_, stats_,
-                              mem_, engine_->touchObserver()});
+                              mem_, engine_->touchObserver(),
+                              fault_.get()});
 }
 
 void
@@ -65,7 +76,24 @@ Multicore::run(Workload &workload)
     mem_.reserveFootprint(
         static_cast<std::size_t>(workload.footprintBytes() / 8));
 
+    if (timeoutMs_ > 0.0) {
+        watchdogPoll_ = 0;
+        watchdogFired_ = false;
+        watchdogDeadline_ =
+            std::chrono::steady_clock::now() +
+            std::chrono::duration_cast<
+                std::chrono::steady_clock::duration>(
+                std::chrono::duration<double, std::milli>(timeoutMs_));
+    }
+
     engine_->run(workload);
+
+    if (watchdogFired_) {
+        char buf[96];
+        std::snprintf(buf, sizeof(buf),
+                      "watchdog: run exceeded %g ms", timeoutMs_);
+        throw RunAbort(AbortKind::Timeout, buf);
+    }
 
     for (const auto &tp : tiles_) {
         if (tp->status != CoreStatus::Finished) {
@@ -237,6 +265,13 @@ Multicore::resetStatsForMeasurement(Cycle t)
     // into the measured epoch would charge phantom queueing.
     network_->reset();
     energy_.reset();
+    // Fault counters are deliberately NOT reset here: the resilience
+    // ledger is whole-run. Warm-up traffic is simulated traffic — a
+    // soft error or link fault injected during warm-up is recovered
+    // (and must be charged) all the same, and wiping the counters at
+    // the boundary would open a blind spot in the zero-silent-
+    // corruption accounting (a warm-up-epoch silent strike would
+    // vanish from the ledger the harness asserts over).
 }
 
 void
@@ -301,6 +336,8 @@ Multicore::finalizeStats(Workload &workload)
         stats_.perCore[c] = tiles_[c]->stats;
     stats_.network = network_->stats();
     stats_.energy = energy_.breakdown();
+    if (fault_)
+        stats_.faults = fault_->stats();
 }
 
 } // namespace lacc

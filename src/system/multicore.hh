@@ -34,6 +34,7 @@
 #ifndef LACC_SYSTEM_MULTICORE_HH
 #define LACC_SYSTEM_MULTICORE_HH
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -41,6 +42,7 @@
 #include "core/classifier.hh"
 #include "dram/dram.hh"
 #include "energy/model.hh"
+#include "fault/injector.hh"
 #include "net/factory.hh"
 #include "protocol/factory.hh"
 #include "protocol/messages.hh"
@@ -75,8 +77,39 @@ class Multicore
      * Run @p workload to completion and return the collected
      * statistics. The workload's core count must match the
      * configuration.
+     *
+     * Throws RunAbort (sim/abort.hh) when the watchdog deadline
+     * expires mid-run or an armed fault plan hits an unrecoverable
+     * condition; the system is *not* reusable afterwards (run() is
+     * single-use either way).
      */
     const SystemStats &run(Workload &workload);
+
+    /**
+     * Arm the wall-clock watchdog: a run exceeding @p ms milliseconds
+     * aborts with RunAbort(Timeout) instead of spinning forever (the
+     * engines poll cooperatively from their serialized loops).
+     * @p ms <= 0 disarms (the default).
+     */
+    void setTimeoutMs(double ms) { timeoutMs_ = ms; }
+
+    /**
+     * Cheap cooperative watchdog poll for the engine loops: samples
+     * the wall clock once every 1024 calls; latches once expired.
+     */
+    bool
+    watchdogExpired()
+    {
+        if (timeoutMs_ <= 0.0)
+            return false;
+        if (watchdogFired_)
+            return true;
+        if ((++watchdogPoll_ & 0x3FFu) != 0)
+            return false;
+        if (std::chrono::steady_clock::now() >= watchdogDeadline_)
+            watchdogFired_ = true;
+        return watchdogFired_;
+    }
 
     /** Statistics of the last (or in-progress) run. */
     const SystemStats &stats() const { return stats_; }
@@ -107,6 +140,8 @@ class Multicore
     DramModel &dram() { return dram_; }
     /** The functional reference memory (verification oracle). */
     const FunctionalMemory &functionalMemory() const { return mem_; }
+    /** The armed fault injector, or null under FaultPlan none. */
+    FaultInjector *faultInjector() { return fault_.get(); }
 
     /**
      * Test hook: perform one data access (or, with @p is_ifetch, one
@@ -165,6 +200,15 @@ class Multicore
 
     // Functional reference memory (word granularity).
     FunctionalMemory mem_;
+
+    /** Armed fault injector (null under FaultPlan none). */
+    std::unique_ptr<FaultInjector> fault_;
+
+    // Wall-clock watchdog (setTimeoutMs / watchdogExpired).
+    double timeoutMs_ = 0.0;
+    std::chrono::steady_clock::time_point watchdogDeadline_;
+    std::uint32_t watchdogPoll_ = 0;
+    bool watchdogFired_ = false;
 
     /**
      * The pluggable execution engine (SystemConfig::engineKind) —

@@ -261,6 +261,38 @@ networkFromJson(const Json &j)
 }
 
 Json
+faultsToJson(const FaultStats &f)
+{
+    Json j = Json::object();
+    j["link_drops"] = f.linkDrops;
+    j["link_corruptions"] = f.linkCorruptions;
+    j["retransmits"] = f.retransmits;
+    j["nacks"] = f.nacks;
+    j["soft_errors"] = f.softErrors;
+    j["ecc_corrected"] = f.eccCorrected;
+    j["ecc_detected"] = f.eccDetected;
+    j["scrubs"] = f.scrubs;
+    j["silent_corruptions"] = f.silentCorruptions;
+    return j;
+}
+
+FaultStats
+faultsFromJson(const Json &j)
+{
+    FaultStats f;
+    f.linkDrops = j.at("link_drops").asUint();
+    f.linkCorruptions = j.at("link_corruptions").asUint();
+    f.retransmits = j.at("retransmits").asUint();
+    f.nacks = j.at("nacks").asUint();
+    f.softErrors = j.at("soft_errors").asUint();
+    f.eccCorrected = j.at("ecc_corrected").asUint();
+    f.eccDetected = j.at("ecc_detected").asUint();
+    f.scrubs = j.at("scrubs").asUint();
+    f.silentCorruptions = j.at("silent_corruptions").asUint();
+    return f;
+}
+
+Json
 protocolToJson(const ProtocolStats &p)
 {
     Json j = Json::object();
@@ -343,6 +375,9 @@ toJson(const SystemConfig &cfg)
     j["classifier_k"] = cfg.classifierK;
     j["complete_learning_shortcut"] = cfg.completeLearningShortcut;
     j["rnuca_enabled"] = cfg.rnucaEnabled;
+    j["faults"] = faultKindName(cfg.faultKind);
+    j["fault_rate"] = cfg.faultRate;
+    j["fault_seed"] = cfg.faultSeed;
     j["seed"] = cfg.seed;
     return j;
 }
@@ -372,6 +407,7 @@ toJson(const SystemStats &stats)
     j["l2"] = cacheToJson(stats.l2);
     j["network"] = networkToJson(stats.network);
     j["protocol"] = protocolToJson(stats.protocol);
+    j["faults"] = faultsToJson(stats.faults);
     j["eviction_util"] = histToJson(stats.evictionUtil);
     j["invalidation_util"] = histToJson(stats.invalidationUtil);
     return j;
@@ -385,6 +421,7 @@ toJson(const RunResult &result)
     j["energy_total"] = result.energyTotal;
     j["functional_errors"] = result.functionalErrors;
     j["sim_ops"] = result.simOps;
+    j["verify_violations"] = result.verifyViolations;
     j["stats"] = toJson(result.stats);
     return j;
 }
@@ -396,10 +433,13 @@ runResultFromJson(const Json &j)
     r.completionTime = j.at("completion_time").asUint();
     r.energyTotal = j.at("energy_total").asDouble();
     r.functionalErrors = j.at("functional_errors").asUint();
-    // Schema v1 documents predate sim_ops; treat it as optional so
-    // archived artifacts stay loadable.
+    // Schema v1 documents predate sim_ops, and v2 predates the fault
+    // fields; treat them as optional so archived artifacts stay
+    // loadable.
     if (const Json *ops = j.find("sim_ops"))
         r.simOps = ops->asUint();
+    if (const Json *vv = j.find("verify_violations"))
+        r.verifyViolations = vv->asUint();
 
     const Json &s = j.at("stats");
     // Aggregates land in core 0 of a perCore vector of the original
@@ -422,6 +462,8 @@ runResultFromJson(const Json &j)
     r.stats.l2 = cacheFromJson(s.at("l2"));
     r.stats.network = networkFromJson(s.at("network"));
     r.stats.protocol = protocolFromJson(s.at("protocol"));
+    if (const Json *f = s.find("faults"))
+        r.stats.faults = faultsFromJson(*f);
     r.stats.energy = energyFromJson(s.at("energy"));
     r.stats.evictionUtil = histFromJson(s.at("eviction_util"));
     r.stats.invalidationUtil = histFromJson(s.at("invalidation_util"));

@@ -66,8 +66,13 @@ double geomean(const std::vector<double> &values);
  * v2 added the throughput fields: top-level repeat / sim_ops /
  * wall_ms / ops_per_sec, the same trio per run record, and sim_ops in
  * every serialized RunResult.
+ * v3 added the fault-injection layer: faults / fault_rate / fault_seed
+ * in the config block, the "faults" counter object in every stats
+ * block, verify_violations in every RunResult, and the per-run
+ * "status" field ("ok" / "failed" with fail_reason) written by the
+ * sweep sink.
  */
-constexpr int kBenchJsonSchemaVersion = 2;
+constexpr int kBenchJsonSchemaVersion = 3;
 
 /** Serialize every SystemConfig field (enums as their names). */
 Json toJson(const SystemConfig &cfg);
@@ -98,7 +103,11 @@ RunResult runResultFromJson(const Json &j);
  * histograms. Energy (the only floating-point state) is deliberately
  * excluded so the digest is identical across compilers and FP
  * contraction settings; energy regressions are caught by the bench
- * JSON goldens instead.
+ * JSON goldens instead. FaultStats is also excluded: fault-free runs
+ * must keep their pre-fault golden digests bit-identical, and the
+ * fault-schedule determinism test digests architectural state that
+ * the recovery machinery perturbs (latency, traffic), which already
+ * covers the counters indirectly.
  *
  * Used by the golden-hash determinism test (tests/test_determinism.cc)
  * that guards protocol refactors: any behavioral drift in the

@@ -46,6 +46,8 @@ ShardedEngine::run(Workload &workload)
         workers_.emplace_back(&ShardedEngine::workerMain, this, w);
 
     for (;;) {
+        if (m_.watchdogExpired())
+            break; // Multicore::run turns this into RunAbort(Timeout)
         runJob(Job::Scan);
         computeH();
         if (haveH_)
@@ -343,6 +345,9 @@ ShardedEngine::drain()
     const std::uint64_t debt_cap = 4096 + 64ull * n;
     std::uint64_t debt = 0;
     for (;;) {
+        if (m_.watchdogExpired())
+            return true; // run() loop re-checks and exits
+
         // Next event candidates: the earliest parked global, and the
         // earliest unclassified scan frontier (which could still hide
         // an earlier global).

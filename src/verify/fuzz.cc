@@ -5,8 +5,10 @@
 #include <filesystem>
 #include <fstream>
 
+#include "fault/plan.hh"
 #include "net/factory.hh"
 #include "protocol/factory.hh"
+#include "sim/abort.hh"
 #include "sim/rng.hh"
 #include "system/multicore.hh"
 #include "verify/invariants.hh"
@@ -155,13 +157,19 @@ checkTrace(const TraceWorkload &w, const SystemConfig &cfg,
 
     // Full timed run: the real event loop (locks block, per-core
     // clocks interleave by latency), every read checked against the
-    // reference memory, full state checked at the end.
+    // reference memory, full state checked at the end. Under fault
+    // injection a RunAbort (retry-budget exhaustion, unrecoverable
+    // double-bit) is a *detected* fault, not a coherence violation —
+    // the fuzzer hunts silent corruption, so the run counts as clean.
     {
         TraceWorkload copy(w.name(), w.streams(), w.numLocks());
         Multicore m(cfg);
-        m.run(copy);
-        for (const auto &v : checkAll(m))
-            out.push_back("full-run: " + v);
+        try {
+            m.run(copy);
+            for (const auto &v : checkAll(m))
+                out.push_back("full-run: " + v);
+        } catch (const RunAbort &) {
+        }
     }
 
     // Stepwise replay: a second, different interleaving (round-robin,
@@ -176,6 +184,7 @@ checkTrace(const TraceWorkload &w, const SystemConfig &cfg,
         std::vector<std::size_t> pos(streams.size(), 0);
         std::size_t step = 0;
         bool live = true, stop = false;
+        try {
         while (live && !stop) {
             live = false;
             for (std::uint32_t c = 0; c < streams.size() && !stop;
@@ -215,6 +224,10 @@ checkTrace(const TraceWorkload &w, const SystemConfig &cfg,
             for (const auto &v : checkAll(m))
                 out.push_back("stepwise-final: " + v);
         }
+        } catch (const RunAbort &) {
+            // Detected fault mid-replay: honest abort, not silent
+            // corruption — same policy as the full timed run above.
+        }
     }
     return out;
 }
@@ -225,9 +238,33 @@ shrinkTrace(const TraceWorkload &w, const SystemConfig &cfg,
 {
     std::vector<std::vector<MemOp>> streams = w.streams();
 
+    // Co-minimize the fault schedule with the trace. First the big
+    // step: does the violation reproduce fault-free? If so the bug is
+    // in the protocol, not the recovery paths — shrink without faults
+    // so the repro doesn't depend on a fault seed.
+    SystemConfig scfg = cfg;
+    if (scfg.faultKind != FaultKind::None) {
+        SystemConfig clean = scfg;
+        clean.faultKind = FaultKind::None;
+        if (!checkTrace(w, clean, stepwise, evidence_path).empty())
+            scfg = clean;
+    }
+
     bool reduced = true;
     while (reduced) {
         reduced = false;
+        // Between op-removal passes, halve the fault intensity while
+        // the failure persists: the final repro carries the weakest
+        // fault schedule that still breaks.
+        while (scfg.faultKind != FaultKind::None &&
+               scfg.faultRate > 1e-12) {
+            SystemConfig half = scfg;
+            half.faultRate *= 0.5;
+            TraceWorkload t(w.name(), streams, w.numLocks());
+            if (checkTrace(t, half, stepwise, evidence_path).empty())
+                break;
+            scfg = half;
+        }
         for (std::size_t c = 0; c < streams.size() && !reduced; ++c) {
             for (std::size_t i = 0;
                  i < streams[c].size() && !reduced; ++i) {
@@ -264,7 +301,7 @@ shrinkTrace(const TraceWorkload &w, const SystemConfig &cfg,
                 }
                 TraceWorkload t(w.name(), std::move(cand),
                                 w.numLocks());
-                if (!checkTrace(t, cfg, stepwise, evidence_path)
+                if (!checkTrace(t, scfg, stepwise, evidence_path)
                          .empty()) {
                     streams = t.streams();
                     reduced = true;
@@ -301,6 +338,12 @@ runFuzz(const FuzzOptions &opt)
                 SystemConfig cfg = fuzzConfig(opt.cores);
                 applyProtocolName(cfg, p);
                 applyNetworkName(cfg, n);
+                if (!opt.faults.empty())
+                    applyFaultName(cfg, opt.faults);
+                if (opt.faultRate >= 0.0)
+                    cfg.faultRate = opt.faultRate;
+                if (opt.faultSeedSet)
+                    cfg.faultSeed = opt.faultSeed;
                 if (opt.simThreads != 0) {
                     cfg.simThreads = opt.simThreads;
                     cfg.engineKind = opt.simThreads > 1

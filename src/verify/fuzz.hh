@@ -43,6 +43,20 @@ struct FuzzOptions
     std::string network;
     /** Where to write shrunk repro traces; empty = don't write. */
     std::string reproDir;
+    /**
+     * Fault plan applied to every generated config (fault/plan.hh);
+     * empty = fault-free. Under faults, a RunAbort (retry-budget
+     * exhaustion, unrecoverable double-bit) counts as *detected* —
+     * the campaign only fails on invariant/reference-memory
+     * violations, i.e. silent corruption. Shrinking co-minimizes the
+     * fault schedule: it first retries the violation fault-free (and
+     * drops the plan when the bug reproduces without it), then halves
+     * faultRate between op-removal passes while the failure persists.
+     */
+    std::string faults;
+    double faultRate = -1.0;     //!< base fault rate; < 0 = plan default
+    bool faultSeedSet = false;   //!< faultSeed holds a CLI value
+    std::uint64_t faultSeed = 0; //!< fault-schedule seed override
     /** Also run the stepwise replay (invariants after every access). */
     bool stepwise = true;
     /**

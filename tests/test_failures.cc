@@ -10,8 +10,11 @@
 
 #include <gtest/gtest.h>
 
+#include "fault/plan.hh"
 #include "net/factory.hh"
 #include "protocol/factory.hh"
+#include "sim/abort.hh"
+#include "system/experiment.hh"
 #include "system/multicore.hh"
 #include "workload/trace_file.hh"
 
@@ -246,6 +249,63 @@ TEST(Failures, UnknownProtocolNameIsFatal)
     EXPECT_EXIT(applyProtocolName(cfg, "mosi"),
                 testing::ExitedWithCode(1),
                 "unknown protocol 'mosi'.*lacc.*fullmap");
+}
+
+TEST(Failures, UnknownFaultPlanNameIsFatal)
+{
+    SystemConfig cfg = tinyCfg();
+    EXPECT_EXIT(applyFaultName(cfg, "cosmic"),
+                testing::ExitedWithCode(1),
+                "unknown fault plan 'cosmic'.*none.*links.*soft.*storm");
+}
+
+TEST(Failures, RetryBudgetExhaustionAborts)
+{
+    // At fault rate 1.0 every link traversal faults (the fixed-point
+    // threshold saturates), so no message can ever get through: the
+    // transport must burn its retry budget and abort the run with a
+    // catchable RunAbort, not hang or deliver garbage.
+    SystemConfig cfg = tinyCfg(4);
+    cfg.meshWidth = 2;
+    cfg.faultKind = FaultKind::Links;
+    cfg.faultRate = 1.0;
+    try {
+        runBenchmark("radix", cfg, 0.02);
+        FAIL() << "retry budget never exhausted";
+    } catch (const RunAbort &a) {
+        EXPECT_EQ(a.kind(), AbortKind::FaultFatal);
+        EXPECT_STREQ(a.tag(), "fault");
+        EXPECT_NE(std::string(a.what()).find("retransmit budget"),
+                  std::string::npos)
+            << a.what();
+    }
+}
+
+TEST(Failures, UnrecoverableDoubleBitAborts)
+{
+    // Soft errors on every directory touch: the double-bit fraction
+    // guarantees an unrecoverable state (dirty-line or Modified-line
+    // double flip) within a handful of transactions. Detected means
+    // abort — never silent continuation.
+    SystemConfig cfg = tinyCfg(4);
+    cfg.meshWidth = 2;
+    cfg.faultKind = FaultKind::Soft;
+    cfg.faultRate = 1.0;
+    try {
+        runBenchmark("radix", cfg, 0.05);
+        FAIL() << "unrecoverable double-bit never struck";
+    } catch (const RunAbort &a) {
+        EXPECT_EQ(a.kind(), AbortKind::FaultFatal);
+        EXPECT_STREQ(a.tag(), "fault");
+    }
+}
+
+TEST(Failures, InvalidFaultRateIsFatal)
+{
+    SystemConfig cfg = tinyCfg();
+    cfg.faultRate = 1.5;
+    EXPECT_EXIT(cfg.validate(), testing::ExitedWithCode(1),
+                "faultRate");
 }
 
 } // namespace

@@ -164,7 +164,7 @@ TEST(Registry, BuiltinsRegistered)
         "fig01", "fig02",  "fig08",  "fig09",    "fig10",
         "fig11", "fig12",  "fig13",  "fig14",    "table1",
         "table2", "ablation", "ackwise", "scaling", "network",
-        "litmus"};
+        "litmus", "faults"};
     EXPECT_EQ(names, expected);
 }
 
@@ -413,7 +413,7 @@ TEST(Sink, SweepDocumentRecordsRuns)
 
     // Schema-v2 throughput fields: per-run trio consistent with the
     // run's result payload, top level aggregates over runs.
-    EXPECT_EQ(doc.at("schema_version").asInt(), 2);
+    EXPECT_EQ(doc.at("schema_version").asInt(), 3);
     EXPECT_EQ(doc.at("repeat").asUint(), 1u);
     EXPECT_EQ(run.at("sim_ops").asUint(),
               run.at("result").at("sim_ops").asUint());

@@ -3,16 +3,19 @@
 
 Used by the perf-smoke CI job: fails (exit 1) on missing, empty,
 unparseable, or schema-violating documents so malformed artifacts never
-get archived as a "good" perf record. Schema v2 (v1 plus the
-throughput fields repeat / sim_ops / wall_ms / ops_per_sec) is
-documented in docs/BENCHMARKS.md.
+get archived as a "good" perf record. Schema v3 (v2 plus per-run
+"status"/"fail_reason", per-config fault-plan fields, and per-stats
+fault counters) is documented in docs/BENCHMARKS.md. Runs recorded as
+"failed" (watchdog timeout, unrecoverable injected fault) are noted
+and skipped: a failed run is a legitimate resilience datum, not a
+malformed artifact.
 """
 
 import json
 import sys
 from pathlib import Path
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 # Config-only tables legitimately run zero simulations.
 NO_SWEEP_EXPERIMENTS = {"table1", "table2"}
@@ -45,6 +48,7 @@ RUN_KEYS = {
     "sim_ops",
     "wall_ms",
     "ops_per_sec",
+    "status",
     "config",
     "result",
 }
@@ -56,6 +60,9 @@ CONFIG_KEYS = {
     "directory",
     "network",
     "seed",
+    "faults",
+    "fault_rate",
+    "fault_seed",
 }
 
 RESULT_KEYS = {
@@ -78,6 +85,7 @@ STATS_KEYS = {
     "protocol",
     "eviction_util",
     "invalidation_util",
+    "faults",
 }
 
 
@@ -126,7 +134,8 @@ def check_document(path):
         return fail(path, f"bad op_scale {doc['op_scale']!r}")
     if not (isinstance(doc["repeat"], int) and doc["repeat"] >= 1):
         return fail(path, f"bad repeat {doc['repeat']!r}")
-    if runs and name not in NO_SWEEP_EXPERIMENTS:
+    ok_runs = [r for r in runs if r.get("status") == "ok"]
+    if ok_runs and name not in NO_SWEEP_EXPERIMENTS:
         if not (isinstance(doc["sim_ops"], int) and doc["sim_ops"] > 0):
             return fail(path, f"bad sim_ops {doc['sim_ops']!r}")
         if not (
@@ -165,6 +174,12 @@ def check_document(path):
             return fail(
                 path, f"{where}.config missing keys: {sorted(missing)}"
             )
+        if run["status"] == "failed":
+            reason = run.get("fail_reason", "<missing fail_reason>")
+            print(f"note {path}: {where} failed ({reason}); skipped")
+            continue
+        if run["status"] != "ok":
+            return fail(path, f"{where} has bad status {run['status']!r}")
         missing = RESULT_KEYS - run["result"].keys()
         if missing:
             return fail(

@@ -175,6 +175,21 @@ def compare_runs(name, runs_a, runs_b, tolerance):
         rb = by_label_b.get(label)
         if rb is None:
             continue
+        # Schema-v3 failed runs (watchdog timeout, unrecoverable
+        # injected fault) carry placeholder results: comparing them
+        # would flag meaningless deltas, and a status flip itself is
+        # a visible note rather than drift (fault experiments abort
+        # by design).
+        sa = ra.get("status", "ok")
+        sb = rb.get("status", "ok")
+        if sa != sb:
+            lines.append(
+                f"    {label}: status {sa} -> {sb} (skipped; failed"
+                " runs carry no comparable metrics)")
+            continue
+        if sa == "failed":
+            lines.append(f"    {label}: failed in both (skipped)")
+            continue
         for key in ("completion_time", "energy_total",
                     "functional_errors"):
             va = ra["result"].get(key)
